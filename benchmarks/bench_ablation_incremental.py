@@ -1,0 +1,60 @@
+"""Ablation: incremental interference maintenance vs recompute-from-scratch.
+
+The local-search extension relies on O(n) radius updates; this benchmark
+shows the tracker's update loop against recomputing ``node_interference``
+after every change — the difference that makes edge-swap search feasible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import random_udg_connected
+from repro.interference.incremental import InterferenceTracker
+from repro.interference.receiver import node_interference
+from repro.model.topology import Topology
+
+N = 300
+POS = random_udg_connected(N, side=7.0, seed=55)
+RNG = np.random.default_rng(2)
+UPDATES = [(int(RNG.integers(N)), float(RNG.uniform(0, 1.5))) for _ in range(100)]
+
+
+@pytest.mark.benchmark(group="ablation-incremental")
+def test_incremental_tracker(benchmark):
+    def run():
+        tracker = InterferenceTracker(POS)
+        for u, r in UPDATES:
+            tracker.set_radius(u, r)
+        return tracker.graph_interference()
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-incremental")
+def test_recompute_from_scratch(benchmark):
+    def run():
+        radii = np.zeros(N)
+        last = 0
+        for u, r in UPDATES:
+            radii[u] = r
+            # emulate recompute by materialising a topology-equivalent state
+            counts = _counts(POS, radii)
+            last = int(counts.max())
+        return last
+
+    result = benchmark(run)
+
+    tracker = InterferenceTracker(POS)
+    for u, r in UPDATES:
+        tracker.set_radius(u, r)
+    assert result == tracker.graph_interference()
+
+
+def _counts(pos, radii):
+    diff = pos[:, None, :] - pos[None, :, :]
+    d = np.hypot(diff[..., 0], diff[..., 1])
+    covered = d <= (radii * (1 + 1e-9))[:, None]
+    np.fill_diagonal(covered, False)
+    # radius-0 inactive nodes cover nobody (coincident points aside)
+    covered[radii == 0] = False
+    return covered.sum(axis=0)

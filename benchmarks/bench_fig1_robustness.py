@@ -1,0 +1,32 @@
+"""Bench E1 / Figure 1: the single-node-addition robustness contrast.
+
+Regenerates the Figure 1 comparison at n = 100 while timing the full
+addition report (both interference measures, before and after).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import random_uniform_square
+from repro.graphs.mst import euclidean_mst_edges
+from repro.interference.robustness import addition_report
+from repro.model.topology import Topology
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_addition_report(benchmark):
+    n = 100
+    side = math.sqrt(n)
+    pos = random_uniform_square(n - 1, side=side, seed=7)
+    before = Topology(pos, euclidean_mst_edges(pos))
+    remote = np.array([3.0 * side, 0.5 * side])
+    anchor = int(np.argmin(np.hypot(*(pos - remote).T)))
+
+    report = benchmark(addition_report, before, remote, [anchor])
+
+    # paper shape: receiver-centric moves by <= 2, sender-centric jumps to ~n
+    assert report.max_receiver_delta <= 2
+    assert report.sender_after >= n - 3
+    assert report.sender_before <= 12

@@ -1,0 +1,26 @@
+"""Bench E2 / Figure 2: the definition example plus the interference kernel
+it exercises, at definition scale (5 nodes) and at survey scale (1000)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import random_udg_connected
+from repro.interference.receiver import node_interference
+from repro.model.udg import unit_disk_graph
+from repro.topologies.constructions import fig2_sample_topology
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_definition_example(benchmark):
+    topo = fig2_sample_topology()
+    vec = benchmark(node_interference, topo)
+    assert vec[0] == 2  # the paper's I(u) = 2
+    assert np.all(vec >= topo.degrees)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_definition_kernel_n1000(benchmark):
+    pos = random_udg_connected(1000, side=14.0, seed=5)
+    udg = unit_disk_graph(pos)
+    vec = benchmark(node_interference, udg)
+    assert vec.max() <= udg.max_degree()

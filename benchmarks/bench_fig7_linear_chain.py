@@ -1,0 +1,28 @@
+"""Bench E4 / Figures 6-7: the linearly connected exponential chain."""
+
+import pytest
+
+from repro.geometry.generators import exponential_chain
+from repro.highway.linear import linear_chain
+from repro.interference.receiver import node_interference
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_linear_chain_interference(benchmark, chain_512):
+    def run():
+        return node_interference(linear_chain(chain_512))
+
+    vec = benchmark(run)
+    assert vec[0] == 510  # n - 2
+    assert int(vec.max()) == 510
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_linear_chain_scaling(benchmark, n):
+    pos = exponential_chain(n)
+
+    def run():
+        return int(node_interference(linear_chain(pos)).max())
+
+    assert benchmark(run) == n - 2

@@ -1,0 +1,32 @@
+"""Bench E5 / Theorem 5.1, Figure 8: algorithm A_exp.
+
+Times the scan-line construction and asserts the O(sqrt(n)) shape against
+both the linear chain and the closed-form bound.
+"""
+
+import math
+
+import pytest
+
+from repro.geometry.generators import exponential_chain
+from repro.highway.a_exp import a_exp
+from repro.highway.bounds import aexp_interference_bound
+from repro.interference.receiver import graph_interference
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_aexp_512(benchmark, chain_512):
+    topo = benchmark(a_exp, chain_512)
+    ival = graph_interference(topo)
+    assert topo.is_connected()
+    assert ival <= aexp_interference_bound(512) + 4
+    assert ival < (512 - 2) / 10  # exponentially better than linear
+
+
+@pytest.mark.benchmark(group="fig8")
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_aexp_scaling(benchmark, n):
+    pos = exponential_chain(n)
+    topo = benchmark(a_exp, pos)
+    ival = graph_interference(topo)
+    assert math.sqrt(n) - 1 <= ival <= 1.25 * math.sqrt(2 * n)

@@ -1,0 +1,45 @@
+"""Benches EXT-5/EXT-6: gathering trees and distributed protocols."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistributedLmst, DistributedXtc, SynchronousNetwork
+from repro.extensions.gathering import (
+    low_interference_gather_tree,
+    shortest_path_tree,
+)
+from repro.geometry.generators import random_udg_connected
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.topologies import build
+
+
+@pytest.fixture(scope="module")
+def gather_udg():
+    pos = random_udg_connected(80, side=4.2, seed=71)
+    return unit_disk_graph(pos, unit=1.0)
+
+
+@pytest.mark.benchmark(group="gathering")
+def test_shortest_path_tree(benchmark, gather_udg):
+    t = benchmark(shortest_path_tree, gather_udg, 0)
+    assert t.is_connected()
+
+
+@pytest.mark.benchmark(group="gathering")
+def test_low_interference_tree(benchmark, gather_udg):
+    t = benchmark(low_interference_gather_tree, gather_udg, 0)
+    spt_i = graph_interference(shortest_path_tree(gather_udg, 0))
+    assert graph_interference(t) <= spt_i
+
+
+@pytest.mark.benchmark(group="distributed")
+@pytest.mark.parametrize("proto_cls,name", [(DistributedXtc, "xtc"), (DistributedLmst, "lmst")])
+def test_distributed_protocol(benchmark, gather_udg, proto_cls, name):
+    net = SynchronousNetwork(gather_udg)
+
+    def run():
+        return net.run(proto_cls())
+
+    result = benchmark(run)
+    assert np.array_equal(result.topology.edges, build(name, gather_udg).edges)

@@ -1,0 +1,42 @@
+"""Bench E11: incremental-arrival robustness sweep."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs.mst import euclidean_mst_edges
+from repro.interference.robustness import addition_report, removal_report
+from repro.model.topology import Topology
+from repro.utils import as_generator
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_incremental_arrivals(benchmark):
+    """Time one full 60-node growth with per-arrival reports."""
+
+    def run():
+        rng = as_generator(5)
+        topo = Topology(rng.uniform(0, 1.5, size=(2, 2)), [(0, 1)])
+        worst_recv, worst_send = 0, 0.0
+        for k in range(2, 60):
+            side = math.sqrt(k + 1.0)
+            arrival = rng.uniform(0.0, side, size=2)
+            d = np.hypot(*(topo.positions - arrival).T)
+            rep = addition_report(topo, arrival, [int(np.argmin(d))])
+            worst_recv = max(worst_recv, rep.max_receiver_delta)
+            worst_send = max(worst_send, rep.sender_delta)
+            topo = rep.after
+        return worst_recv, worst_send
+
+    worst_recv, _ = benchmark(run)
+    assert worst_recv <= 2
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_removal_report(benchmark):
+    rng = as_generator(9)
+    pos = rng.uniform(0, 6, size=(80, 2))
+    topo = Topology(pos, euclidean_mst_edges(pos))
+    out = benchmark(removal_report, topo, 40)
+    assert out["receiver_before"].shape == (79,)

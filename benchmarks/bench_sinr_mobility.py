@@ -1,0 +1,55 @@
+"""Benches EXT-3/EXT-4: SINR physical layer and mobility timeline."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import exponential_chain
+from repro.highway.a_exp import a_exp
+from repro.highway.linear import linear_chain
+from repro.mobility import RandomWaypointModel, TopologyTimeline
+from repro.sim.backoff import BebAlohaSimulator
+from repro.sim.sinr import SinrSlottedSimulator
+from repro.topologies import build
+
+
+@pytest.mark.benchmark(group="sinr")
+def test_sinr_slotted(benchmark):
+    pos = exponential_chain(40)
+    sim = SinrSlottedSimulator(linear_chain(pos), p=0.15)
+    res = benchmark(sim.run, 1500, seed=3)
+    assert res.rx_ok.sum() > 0
+
+
+@pytest.mark.benchmark(group="sinr")
+def test_sinr_ranking(benchmark):
+    pos = exponential_chain(40)
+    aex = a_exp(pos)
+    lin = linear_chain(pos)
+
+    def run():
+        a = SinrSlottedSimulator(aex, p=0.15).run(1000, seed=4)
+        b = SinrSlottedSimulator(lin, p=0.15).run(1000, seed=4)
+        return float(np.nanmean(a.loss_rate)), float(np.nanmean(b.loss_rate))
+
+    a_loss, b_loss = benchmark(run)
+    assert a_loss < b_loss
+
+
+@pytest.mark.benchmark(group="beb")
+def test_beb_saturation(benchmark):
+    pos = exponential_chain(40)
+    sim = BebAlohaSimulator(a_exp(pos))
+    res = benchmark(sim.run, 2000, seed=5)
+    assert res.deliveries.sum() > 0
+
+
+@pytest.mark.benchmark(group="mobility")
+def test_mobility_timeline_emst(benchmark):
+    model = RandomWaypointModel(40, side=4.5, seed=6)
+    frames = model.trajectory(15, dt=1.0)
+
+    def run():
+        return TopologyTimeline(lambda udg: build("emst", udg)).run(frames)
+
+    result = benchmark(run)
+    assert result.connected.all()

@@ -1,0 +1,24 @@
+"""Bench E9 / Section 4: every baseline algorithm on a 150-node UDG.
+
+One benchmark per registered algorithm (construction + interference
+evaluation), regenerating the survey table's rows.
+"""
+
+import pytest
+
+from repro.interference.receiver import graph_interference
+from repro.topologies import ALGORITHMS, build
+
+
+@pytest.mark.benchmark(group="survey")
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_baseline_algorithm(benchmark, name, udg_150):
+    def run():
+        topo = build(name, udg_150)
+        return topo, graph_interference(topo)
+
+    topo, ival = benchmark(run)
+    assert topo.is_subgraph_of(udg_150)
+    assert ival <= udg_150.max_degree()
+    if name not in ("nnf", "knn3"):
+        assert topo.is_connected()

@@ -1,0 +1,30 @@
+"""Bench EXT-2: TDMA conflict-graph colouring."""
+
+import pytest
+
+from repro.geometry.generators import exponential_chain, random_udg_connected
+from repro.highway.a_exp import a_exp
+from repro.highway.linear import linear_chain
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.sim.scheduling import greedy_tdma_schedule, schedule_length
+from repro.topologies import build
+
+
+@pytest.mark.benchmark(group="tdma")
+def test_schedule_random_150(benchmark, udg_150):
+    topo = build("emst", udg_150)
+    colors = benchmark(greedy_tdma_schedule, topo)
+    from repro.sim.scheduling import validate_schedule
+
+    assert validate_schedule(topo, colors)
+    # adjacent nodes always conflict, so at least two slots are needed
+    assert int(colors.max()) + 1 >= 2
+
+
+@pytest.mark.benchmark(group="tdma")
+def test_schedule_contrast_on_chain(benchmark):
+    pos = exponential_chain(60)
+    aex = a_exp(pos)
+    length = benchmark(schedule_length, aex)
+    assert length < schedule_length(linear_chain(pos))

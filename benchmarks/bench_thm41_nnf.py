@@ -1,0 +1,38 @@
+"""Bench E3 / Theorem 4.1, Figures 3-5: the NNF separation instance."""
+
+import pytest
+
+from repro.geometry.generators import two_exponential_chains
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.topologies import build
+from repro.topologies.constructions import two_chains_optimal_tree
+
+
+@pytest.mark.benchmark(group="thm41")
+def test_emst_on_two_chains(benchmark):
+    m = 32
+    pos, groups = two_exponential_chains(m)
+    udg = unit_disk_graph(pos, unit=float(2.0 ** (m + 1)))
+
+    def run():
+        emst = build("emst", udg)
+        return graph_interference(emst)
+
+    emst_i = benchmark(run)
+    opt_i = graph_interference(two_chains_optimal_tree(pos, groups))
+    # paper shape: Omega(n) vs O(1)
+    assert emst_i >= m
+    assert opt_i <= 6
+
+
+@pytest.mark.benchmark(group="thm41")
+def test_optimal_tree_construction(benchmark):
+    m = 64
+    pos, groups = two_exponential_chains(m)
+
+    def run():
+        t = two_chains_optimal_tree(pos, groups)
+        return graph_interference(t)
+
+    assert benchmark(run) <= 6

@@ -1,0 +1,32 @@
+"""Bench E6 / Theorem 5.2: the exact branch-and-bound solver."""
+
+import math
+
+import pytest
+
+from repro.exact.radii_search import feasible_with_interference, minimum_interference
+from repro.geometry.generators import exponential_chain, random_uniform_square
+
+
+@pytest.mark.benchmark(group="thm52")
+@pytest.mark.parametrize("n", [7, 9])
+def test_exact_optimum_exponential_chain(benchmark, n):
+    pos = exponential_chain(n)
+    opt, topo = benchmark(minimum_interference, pos)
+    assert opt >= math.sqrt(n) - 1e-9  # Theorem 5.2
+    assert topo.is_connected()
+
+
+@pytest.mark.benchmark(group="thm52")
+def test_exact_optimum_random_2d(benchmark):
+    pos = random_uniform_square(9, side=0.8, seed=11)
+    opt, topo = benchmark(minimum_interference, pos)
+    assert topo.is_connected()
+    assert opt >= 1
+
+
+@pytest.mark.benchmark(group="thm52")
+def test_infeasibility_proof(benchmark):
+    """The hard direction: proving no topology achieves I < sqrt(n)."""
+    pos = exponential_chain(9)
+    assert benchmark(feasible_with_interference, pos, 3) is None

@@ -1,0 +1,41 @@
+"""Bench E7 / Theorem 5.4, Figure 9: algorithm A_gen at scale."""
+
+import math
+
+import pytest
+
+from repro.geometry.generators import exponential_chain, random_highway
+from repro.highway.a_gen import a_gen
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+
+
+@pytest.mark.benchmark(group="thm54")
+def test_agen_2000_nodes(benchmark, highway_2000):
+    udg = unit_disk_graph(highway_2000)
+    delta = udg.max_degree()
+    topo = benchmark(a_gen, highway_2000, delta=delta)
+    assert topo.is_connected() == udg.is_connected()
+    assert graph_interference(topo) <= 3.0 * math.sqrt(delta)
+
+
+@pytest.mark.benchmark(group="thm54")
+@pytest.mark.parametrize("max_gap", [0.02, 0.2, 0.8])
+def test_agen_density_sweep(benchmark, max_gap):
+    """Interference tracks sqrt(Delta) across densities (the Fig. 9 sweep)."""
+    pos = random_highway(500, max_gap=max_gap, seed=3)
+    delta = unit_disk_graph(pos).max_degree()
+
+    def run():
+        return graph_interference(a_gen(pos, delta=delta))
+
+    assert benchmark(run) <= 3.0 * math.sqrt(delta)
+
+
+@pytest.mark.benchmark(group="thm54")
+def test_agen_exponential_chain(benchmark):
+    pos = exponential_chain(512)
+    topo = benchmark(a_gen, pos, delta=511)
+    ival = graph_interference(topo)
+    assert ival <= 3.0 * math.sqrt(511)
+    assert ival < 510 / 4  # far below the linear chain

@@ -1,0 +1,36 @@
+"""Bench E8 / Theorem 5.6: the hybrid A_apx and its certified ratio."""
+
+import pytest
+
+from repro.geometry.generators import (
+    exponential_chain,
+    random_highway,
+    uniform_chain,
+)
+from repro.highway.a_apx import a_apx
+from repro.interference.receiver import graph_interference
+
+
+@pytest.mark.benchmark(group="thm56")
+def test_aapx_uniform_1000(benchmark):
+    pos = uniform_chain(1000, spacing=0.002)
+    topo, info = benchmark(a_apx, pos, return_info=True)
+    assert info.branch == "linear"
+    assert graph_interference(topo) <= 2
+
+
+@pytest.mark.benchmark(group="thm56")
+def test_aapx_exponential_512(benchmark):
+    pos = exponential_chain(512)
+    topo, info = benchmark(a_apx, pos, return_info=True)
+    assert info.branch == "a_gen"
+    ratio = graph_interference(topo) / max(info.lower_bound, 1.0)
+    assert ratio <= 4.0 * info.delta**0.25
+
+
+@pytest.mark.benchmark(group="thm56")
+def test_aapx_random_1000(benchmark):
+    pos = random_highway(1000, max_gap=0.1, seed=23)
+    topo, info = benchmark(a_apx, pos, return_info=True)
+    ratio = graph_interference(topo) / max(info.lower_bound, 1.0)
+    assert ratio <= 4.0 * max(info.delta, 1) ** 0.25

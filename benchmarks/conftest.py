@@ -1,0 +1,28 @@
+"""Benchmark fixtures: pre-built instances shared across bench files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.generators import (
+    exponential_chain,
+    random_highway,
+    random_udg_connected,
+)
+from repro.model.udg import unit_disk_graph
+
+
+@pytest.fixture(scope="session")
+def chain_512():
+    return exponential_chain(512)
+
+
+@pytest.fixture(scope="session")
+def highway_2000():
+    return random_highway(2000, max_gap=0.05, seed=101)
+
+
+@pytest.fixture(scope="session")
+def udg_150():
+    pos = random_udg_connected(150, side=5.0, seed=77)
+    return unit_disk_graph(pos, unit=1.0)

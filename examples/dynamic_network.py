@@ -1,0 +1,88 @@
+"""Dynamic network: why robustness of the interference *measure* matters.
+
+An operator monitors interference while nodes join and leave. Under the
+sender-centric measure of [2], a single straggler joining at the edge of
+the deployment makes the metric jump to ~n — indistinguishable from a
+catastrophic regression — while the receiver-centric measure moves by at
+most 2 and stays actionable. Run with ``python examples/dynamic_network.py``.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.interference.receiver import graph_interference
+from repro.interference.robustness import addition_report, removal_report
+from repro.model.topology import Topology
+from repro.utils import as_generator
+
+
+def main() -> None:
+    rng = as_generator(17)
+    events = []
+    topo = Topology(rng.uniform(0, 1.5, size=(2, 2)), [(0, 1)])
+
+    for k in range(2, 61):
+        side = math.sqrt(k + 1.0)
+        if k % 15 == 0:
+            # a straggler joins far outside the deployment
+            angle = rng.uniform(0, 2 * math.pi)
+            arrival = np.array(
+                [
+                    side / 2 + 3 * side * math.cos(angle),
+                    side / 2 + 3 * side * math.sin(angle),
+                ]
+            )
+            kind = "straggler join"
+        else:
+            arrival = rng.uniform(0.0, side, size=2)
+            kind = "local join"
+        d = np.hypot(*(topo.positions - arrival).T)
+        rep = addition_report(topo, arrival, [int(np.argmin(d))])
+        events.append(
+            [
+                k + 1,
+                kind,
+                rep.max_receiver_delta,
+                round(rep.sender_delta, 0),
+                graph_interference(rep.after),
+                round(rep.sender_after, 0),
+            ]
+        )
+        topo = rep.after
+
+    print(
+        format_table(
+            [
+                "n",
+                "event",
+                "recv delta",
+                "send delta",
+                "I_recv now",
+                "I_send now",
+            ],
+            [e for e in events if e[1] == "straggler join" or e[0] % 12 == 0],
+            title="Growth log (receiver-centric vs sender-centric measure)",
+        )
+    )
+
+    # a leaf departs: receiver-centric interference can only drop
+    leaf = int(np.argmin(topo.degrees + (topo.degrees == 0) * 10**6))
+    out = removal_report(topo, leaf)
+    print(
+        f"\nNode {leaf} (degree {topo.degrees[leaf]}) leaves: "
+        f"survivors' interference change "
+        f"{int((out['receiver_after'] - out['receiver_before']).max())} max, "
+        f"still connected: {out['connected_after']}"
+    )
+    print(
+        "\nTakeaway: the receiver-centric measure moves by O(1) per event "
+        "(max recv delta above), matching the intuition that one node is one "
+        "new packet source; the sender-centric measure spikes to ~n on every "
+        "straggler."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Vehicular highway scenario: topology control for cars on a road.
+
+Vehicles cluster near interchanges (dense bursts) with long sparse
+stretches in between — a realistic mix of the uniform and exponential
+regimes of Section 5. Compares the linear chain, A_exp, A_gen and the
+hybrid A_apx, showing where each wins and what A_apx's criterion gamma
+decides. Run with ``python examples/highway_vehicular.py``.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.highway import a_apx, a_exp, a_gen, gamma, linear_chain
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.render.ascii_art import render_highway_arcs
+from repro.utils import as_generator
+
+
+def make_road(n_clusters: int, cars_per_cluster: int, seed=0) -> np.ndarray:
+    """Clusters of cars (interchange queues) separated by sparse stretches."""
+    rng = as_generator(seed)
+    xs = []
+    x = 0.0
+    for _ in range(n_clusters):
+        offsets = np.sort(rng.uniform(0.0, 0.4, size=cars_per_cluster))
+        xs.append(x + offsets)
+        # a sparse stretch: a few lone cars, gaps below the unit range
+        stretch = rng.uniform(0.5, 0.95, size=rng.integers(2, 5))
+        lone = x + 0.4 + np.cumsum(stretch)
+        xs.append(lone)
+        x = lone[-1]
+    out = np.zeros((sum(len(a) for a in xs), 2))
+    out[:, 0] = np.concatenate(xs)
+    return out
+
+
+def main() -> None:
+    road = make_road(n_clusters=6, cars_per_cluster=25, seed=3)
+    n = road.shape[0]
+    udg = unit_disk_graph(road)
+    delta = udg.max_degree()
+    g = gamma(road)
+    print(
+        f"Road with {n} vehicles, UDG connected: {udg.is_connected()}, "
+        f"Delta = {delta}, gamma = {g} "
+        f"(A_apx criterion: gamma > sqrt(Delta) = {math.sqrt(delta):.1f}? "
+        f"{'yes -> A_gen' if g > math.sqrt(delta) else 'no -> linear'})\n"
+    )
+
+    rows = []
+    candidates = {
+        "linear chain": linear_chain(road, unit=1.0),
+        "A_exp": a_exp(road),
+        "A_gen": a_gen(road, delta=delta),
+        "A_apx": a_apx(road),
+    }
+    for name, topo in candidates.items():
+        rows.append(
+            [
+                name,
+                graph_interference(topo),
+                topo.n_edges,
+                round(float(topo.edge_lengths.max()), 3) if topo.n_edges else 0.0,
+                topo.is_connected(),
+            ]
+        )
+    print(
+        format_table(
+            ["topology", "I(G)", "edges", "longest link", "connected"],
+            rows,
+            title=f"Vehicular highway (sqrt(Delta) = {math.sqrt(delta):.1f})",
+        )
+    )
+
+    print(
+        "\nNotes: A_exp assumes every pair is in range (it is analysed on the "
+        "normalized exponential chain) — its long links here exceed the unit "
+        "range, shown for comparison only. A_apx's gamma criterion is a "
+        "worst-case guarantee: on this instance the linear chain happens to "
+        "beat A_gen, but A_apx still stays within its O(Delta^1/4) bound."
+    )
+    print("\nA_gen hub structure on one stretch of the road:")
+    window = road[:60]
+    print(render_highway_arcs(a_gen(window), width=100, log_scale=False))
+
+
+if __name__ == "__main__":
+    main()

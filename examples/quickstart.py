@@ -1,0 +1,55 @@
+"""Quickstart: the receiver-centric interference model in five minutes.
+
+Builds the paper's exponential node chain, compares the naive linear
+connection against algorithm A_exp, and reproduces the headline numbers of
+Section 5.1 — run with ``python examples/quickstart.py``.
+"""
+
+import math
+
+from repro import (
+    a_exp,
+    exponential_chain,
+    graph_interference,
+    linear_chain,
+    node_interference,
+    unit_disk_graph,
+)
+from repro.render.ascii_art import render_highway_arcs
+
+
+def main() -> None:
+    n = 64
+    positions = exponential_chain(n)  # gaps double; whole chain in unit range
+    print(f"Exponential node chain with n = {n} nodes (Figure 6)\n")
+
+    udg = unit_disk_graph(positions)
+    print(f"The unit disk graph is complete: Delta = {udg.max_degree()}\n")
+
+    # The obvious topology: connect every node to its neighbours (Figure 7)
+    lin = linear_chain(positions)
+    print(
+        f"Linear chain interference  I(G_lin) = {graph_interference(lin)}"
+        f"  (paper: n - 2 = {n - 2})"
+    )
+    print(
+        "  the leftmost node is covered by every rightward-connecting node: "
+        f"I(v0) = {node_interference(lin)[0]}\n"
+    )
+
+    # The paper's scan-line algorithm (Theorem 5.1, Figure 8)
+    aexp = a_exp(positions)
+    ival = graph_interference(aexp)
+    print(
+        f"A_exp interference         I(G_exp) = {ival}"
+        f"  (Theorem 5.1: O(sqrt n) ~ {math.sqrt(2 * n):.1f};"
+        f" Theorem 5.2 floor: {math.sqrt(n):.1f})"
+    )
+    print(f"  connected: {aexp.is_connected()}  edges: {aexp.n_edges}\n")
+
+    print("Figure 8 reproduction (hubs 'O', arcs are edges, log-scaled axis):")
+    print(render_highway_arcs(aexp, width=96))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""TDMA capacity: interference as a medium-access cost.
+
+If the MAC schedules transmissions so that no receiver can ever be
+disturbed (conflict-free TDMA), the number of slots per round is a direct
+operational price of interference: every extra potential interferer of
+some receiver is another transmitter that must wait. This example
+schedules several topologies and shows slots ~ I(G) + 1. Run with
+``python examples/tdma_capacity.py``.
+"""
+
+from repro.analysis.tables import format_table
+from repro.geometry.generators import exponential_chain, random_udg_connected
+from repro.highway import a_exp, linear_chain
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.sim.scheduling import greedy_tdma_schedule, validate_schedule
+from repro.topologies import build
+
+
+def main() -> None:
+    rows = []
+    pos = exponential_chain(48)
+    cases = [("exp chain / linear", linear_chain(pos)), ("exp chain / A_exp", a_exp(pos))]
+    pos2 = random_udg_connected(70, side=4.2, seed=21)
+    udg = unit_disk_graph(pos2)
+    cases += [(f"random / {name}", build(name, udg)) for name in ("emst", "rng", "yao6", "cbtc")]
+
+    for name, topo in cases:
+        colors = greedy_tdma_schedule(topo)
+        slots = int(colors.max()) + 1
+        assert validate_schedule(topo, colors)
+        ival = graph_interference(topo)
+        rows.append([name, ival, slots, round(slots / (ival + 1), 2)])
+
+    print(
+        format_table(
+            ["topology", "I(G)", "TDMA slots", "slots/(I+1)"],
+            rows,
+            title="Conflict-free schedule length vs receiver-centric interference",
+        )
+    )
+    print(
+        "\nOne slot per potential interferer: cutting I(G) from n-2 to "
+        "O(sqrt n) on the exponential chain multiplies the per-node "
+        "throughput of a TDMA round by the same factor."
+    )
+
+
+if __name__ == "__main__":
+    main()

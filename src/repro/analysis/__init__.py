@@ -1,0 +1,13 @@
+"""Analysis helpers: asymptotic fits, summary statistics, ASCII tables."""
+
+from repro.analysis.fitting import fit_power_law, fit_sqrt, loglog_slope
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "fit_power_law",
+    "fit_sqrt",
+    "loglog_slope",
+    "summarize",
+    "format_table",
+]

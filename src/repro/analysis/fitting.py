@@ -1,0 +1,77 @@
+"""Curve fitting for asymptotic claims.
+
+The experiments check *shapes*, not constants: "A_exp is Theta(sqrt(n))"
+becomes "the log-log slope of I against n is ~0.5 and a c*sqrt(n) fit has
+high R^2".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ~ c * x**exponent`` fitted in log-log space."""
+
+    c: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, x) -> np.ndarray:
+        return self.c * np.asarray(x, dtype=np.float64) ** self.exponent
+
+
+def _validate_xy(x, y) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    return x, y
+
+
+def fit_power_law(x, y) -> PowerLawFit:
+    """Least-squares fit of ``log y = log c + e * log x``.
+
+    Requires strictly positive data. ``r_squared`` is computed in log
+    space.
+    """
+    x, y = _validate_xy(x, y)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    resid = ly - (slope * lx + intercept)
+    ss_res = float(np.sum(resid**2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(c=float(np.exp(intercept)), exponent=float(slope), r_squared=r2)
+
+
+def loglog_slope(x, y) -> float:
+    """Slope of the log-log regression (the empirical growth exponent)."""
+    return fit_power_law(x, y).exponent
+
+
+def fit_sqrt(x, y) -> tuple[float, float]:
+    """Least-squares fit of ``y ~ c * sqrt(x)``; returns ``(c, r_squared)``.
+
+    ``r_squared`` is computed against the raw data (not log space), so a
+    genuinely linear or constant series scores poorly.
+    """
+    x, y = _validate_xy(x, y)
+    if np.any(x < 0):
+        raise ValueError("sqrt fit requires non-negative x")
+    s = np.sqrt(x)
+    denom = float(np.sum(s * s))
+    if denom == 0:
+        raise ValueError("degenerate x")
+    c = float(np.sum(s * y) / denom)
+    resid = y - c * s
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - float(np.sum(resid**2)) / ss_tot if ss_tot > 0 else 1.0
+    return c, r2

@@ -1,0 +1,20 @@
+"""Small summary-statistics helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def summarize(values) -> dict[str, float]:
+    """min / median / mean / max / std of a 1-D sample (NaNs dropped)."""
+    arr = np.asarray(values, dtype=np.float64)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        return {k: float("nan") for k in ("min", "median", "mean", "max", "std")}
+    return {
+        "min": float(arr.min()),
+        "median": float(np.median(arr)),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+        "std": float(arr.std()),
+    }

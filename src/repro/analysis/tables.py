@@ -1,0 +1,66 @@
+"""ASCII table rendering for experiment output (no plotting stack needed)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value)}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, title: str | None = None
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Every row must match the header length; numbers are right-aligned,
+    text left-aligned.
+    """
+    cells = [[_fmt(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    numeric = [
+        all(_is_numberish(r[i]) for r in cells) if cells else False
+        for i in range(len(headers))
+    ]
+
+    def line(row, pad=" "):
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(r) for r in cells)
+    out.append(sep)
+    return "\n".join(out)
+
+
+def _is_numberish(s: str) -> bool:
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return s == "nan"

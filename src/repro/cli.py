@@ -1,0 +1,108 @@
+"""Command-line entry point: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig8_aexp
+    python -m repro.cli run all --json-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduction experiments for 'A Robust Interference Model for "
+            "Wireless Ad-Hoc Networks' (von Rickenbach et al., IPPS 2005)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment", help="experiment id, or 'all'")
+    runp.add_argument(
+        "--json-dir",
+        type=Path,
+        default=None,
+        help="also write <id>.json result files into this directory",
+    )
+    runp.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="also write <id>.csv tables into this directory",
+    )
+    runp.add_argument("--seed", type=int, default=None, help="override RNG seed")
+    rep = sub.add_parser("report", help="run all experiments, emit a markdown report")
+    rep.add_argument("--out", type=Path, required=True, help="output markdown path")
+    rep.add_argument(
+        "--csv-dir", type=Path, default=None, help="also export tables as CSV"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away: exit quietly like a
+        # well-behaved unix filter
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    from repro import experiments
+
+    if args.command == "list":
+        for eid, exp in sorted(experiments.REGISTRY.items()):
+            print(f"{eid:22s} {exp.title}  [{exp.paper_ref}]")
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import write_csvs, write_report
+
+        results = experiments.run_all()
+        path = write_report(
+            results, args.out, title="Reproduction report — all experiments"
+        )
+        print(f"wrote {path}")
+        if args.csv_dir is not None:
+            for p in write_csvs(results, args.csv_dir):
+                print(f"wrote {p}")
+        return 0
+
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.experiment == "all":
+        results = experiments.run_all()
+    else:
+        results = [experiments.run(args.experiment, **kwargs)]
+    for result in results:
+        print(result.render())
+        print()
+        if args.json_dir is not None:
+            args.json_dir.mkdir(parents=True, exist_ok=True)
+            path = args.json_dir / f"{result.experiment_id}.json"
+            path.write_text(result.to_json())
+            print(f"  wrote {path}")
+        if args.csv_dir is not None:
+            from repro.experiments.report import write_csvs
+
+            for p in write_csvs([result], args.csv_dir):
+                print(f"  wrote {p}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

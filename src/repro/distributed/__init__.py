@@ -1,0 +1,25 @@
+"""Distributed (message-passing) topology control.
+
+The paper's algorithms target ad-hoc nodes that only talk to their UDG
+neighbours. This package provides a synchronous message-passing framework
+(rounds, per-neighbour payloads, message accounting) and faithful
+distributed implementations of the locality-friendly baselines — NNF, XTC
+and LMST — verified against their centralized counterparts and reported
+with their round/message complexity.
+"""
+
+from repro.distributed.framework import DistributedResult, Protocol, SynchronousNetwork
+from repro.distributed.protocols import (
+    DistributedLmst,
+    DistributedNnf,
+    DistributedXtc,
+)
+
+__all__ = [
+    "SynchronousNetwork",
+    "Protocol",
+    "DistributedResult",
+    "DistributedNnf",
+    "DistributedXtc",
+    "DistributedLmst",
+]

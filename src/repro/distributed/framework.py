@@ -1,0 +1,121 @@
+"""Synchronous message-passing execution over a unit disk graph.
+
+The model is the standard LOCAL-style synchronous network: computation
+proceeds in rounds; in each round every node composes one broadcast
+payload, the network delivers it to all UDG neighbours, and every node
+processes its inbox. After the protocol's fixed number of rounds each node
+nominates the incident edges it wants to keep; the framework combines
+nominations symmetrically (union or intersection, per protocol) into the
+output topology.
+
+Message accounting: a broadcast by ``u`` counts as ``deg(u)`` delivered
+messages (radio broadcasts reach each neighbour once); per-round and total
+tallies are reported so protocols' communication complexity can be checked
+by tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.topology import Topology
+
+
+class Protocol(ABC):
+    """A fixed-round broadcast protocol.
+
+    Subclasses define ``n_rounds``, per-node state initialisation, what to
+    broadcast each round, how to fold the inbox into state, and the final
+    edge nominations. ``combine`` is ``"union"`` (an edge exists if either
+    endpoint nominates it) or ``"intersection"`` (both must).
+    """
+
+    n_rounds: int = 1
+    combine: str = "union"
+
+    @abstractmethod
+    def init_state(self, node: int, position, neighbor_ids) -> dict:
+        """Per-node private state; nodes know their id, position and the
+        *identities* of their UDG neighbours (link-layer discovery)."""
+
+    @abstractmethod
+    def send(self, round_idx: int, state: dict):
+        """Payload broadcast to all neighbours this round (None = silent)."""
+
+    @abstractmethod
+    def receive(self, round_idx: int, state: dict, inbox: dict) -> None:
+        """Fold ``inbox`` (sender id -> payload) into ``state``."""
+
+    @abstractmethod
+    def nominations(self, state: dict):
+        """Iterable of neighbour ids whose edge this node wants to keep."""
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    topology: Topology
+    rounds: int
+    messages_total: int
+    messages_per_round: list[int]
+    meta: dict = field(default_factory=dict)
+
+
+class SynchronousNetwork:
+    """Execute a :class:`Protocol` over the given unit disk graph."""
+
+    def __init__(self, udg: Topology):
+        self.udg = udg
+
+    def run(self, protocol: Protocol) -> DistributedResult:
+        udg = self.udg
+        n = udg.n
+        states = [
+            protocol.init_state(
+                u, udg.positions[u].copy(), sorted(udg.neighbors(u))
+            )
+            for u in range(n)
+        ]
+        per_round: list[int] = []
+        for r in range(protocol.n_rounds):
+            payloads = [protocol.send(r, states[u]) for u in range(n)]
+            sent = sum(
+                udg.degrees[u] for u in range(n) if payloads[u] is not None
+            )
+            per_round.append(int(sent))
+            inboxes: list[dict] = [dict() for _ in range(n)]
+            for u in range(n):
+                if payloads[u] is None:
+                    continue
+                for v in udg.neighbors(u):
+                    inboxes[v][u] = payloads[u]
+            for u in range(n):
+                protocol.receive(r, states[u], inboxes[u])
+
+        nominated: list[set[int]] = [
+            {int(v) for v in protocol.nominations(states[u])} for u in range(n)
+        ]
+        for u, noms in enumerate(nominated):
+            bad = noms - set(udg.neighbors(u))
+            if bad:
+                raise RuntimeError(
+                    f"protocol nominated non-neighbours {sorted(bad)} at node {u}"
+                )
+        edges = set()
+        for u in range(n):
+            for v in nominated[u]:
+                if protocol.combine == "union" or u in nominated[v]:
+                    edges.add((min(u, v), max(u, v)))
+        topo = Topology(
+            udg.positions,
+            np.array(sorted(edges), dtype=np.int64).reshape(-1, 2),
+        )
+        return DistributedResult(
+            topology=topo,
+            rounds=protocol.n_rounds,
+            messages_total=int(sum(per_round)),
+            messages_per_round=per_round,
+            meta={"combine": protocol.combine},
+        )

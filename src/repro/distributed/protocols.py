@@ -1,0 +1,189 @@
+"""Distributed implementations of locality-friendly topology control.
+
+Every protocol here is verified (by the test suite) to produce exactly the
+same topology as its centralized counterpart in ``repro.topologies``:
+
+================  ======  ===========  ============================
+protocol          rounds  combine      information used
+================  ======  ===========  ============================
+DistributedNnf    1       union        1-hop positions
+DistributedXtc    2       intersection 1-hop positions + rankings
+DistributedLmst   2       intersection 2-hop positions
+================  ======  ===========  ============================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.framework import Protocol
+
+
+def _dist(a, b) -> float:
+    return float(np.hypot(a[0] - b[0], a[1] - b[1]))
+
+
+class DistributedNnf(Protocol):
+    """Nearest Neighbor Forest in one broadcast round.
+
+    Round 0: broadcast own position. Each node then nominates its nearest
+    neighbour (ties to the smaller id); the union of nominations is the NNF.
+    """
+
+    n_rounds = 1
+    combine = "union"
+
+    def init_state(self, node, position, neighbor_ids):
+        return {"id": node, "pos": position, "nbrs": list(neighbor_ids), "seen": {}}
+
+    def send(self, round_idx, state):
+        return tuple(state["pos"])
+
+    def receive(self, round_idx, state, inbox):
+        state["seen"].update(inbox)
+
+    def nominations(self, state):
+        if not state["seen"]:
+            return []
+        best = min(
+            state["seen"].items(),
+            key=lambda kv: (_dist(state["pos"], kv[1]), kv[0]),
+        )
+        return [best[0]]
+
+
+class DistributedXtc(Protocol):
+    """XTC [19] as a two-round protocol.
+
+    Round 0: broadcast position (nodes build their neighbour ranking —
+    Euclidean distance with id tie-break). Round 1: broadcast the ranking.
+    A node keeps the edge to ``v`` unless some ``w``, ranked better than
+    ``v`` locally, also ranks better than the node itself in ``v``'s
+    received ranking. Both endpoints reach the same verdict, so the
+    intersection equals either side's decision.
+    """
+
+    n_rounds = 2
+    combine = "intersection"
+
+    def init_state(self, node, position, neighbor_ids):
+        return {
+            "id": node,
+            "pos": position,
+            "nbrs": list(neighbor_ids),
+            "positions": {},
+            "rankings": {},
+        }
+
+    def send(self, round_idx, state):
+        if round_idx == 0:
+            return tuple(state["pos"])
+        # round 1: broadcast own ranking (ordered neighbour ids)
+        return tuple(self._ranking(state))
+
+    def _ranking(self, state):
+        me = state["id"]
+        return sorted(
+            state["positions"],
+            key=lambda w: (
+                _dist(state["pos"], state["positions"][w]),
+                min(me, w),
+                max(me, w),
+            ),
+        )
+
+    def receive(self, round_idx, state, inbox):
+        if round_idx == 0:
+            state["positions"].update(inbox)
+        else:
+            state["rankings"].update({u: list(r) for u, r in inbox.items()})
+
+    def nominations(self, state):
+        me = state["id"]
+        my_rank = self._ranking(state)
+        keep = []
+        for v in my_rank:
+            better_than_v = set(my_rank[: my_rank.index(v)])
+            v_ranking = state["rankings"].get(v, [])
+            drop = False
+            for w in v_ranking:
+                if w == me:
+                    break  # everyone after this ranks worse than me for v
+                if w in better_than_v:
+                    drop = True
+                    break
+            if not drop:
+                keep.append(v)
+        return keep
+
+
+class DistributedLmst(Protocol):
+    """LMST [9] as a two-round protocol.
+
+    Round 0: broadcast position. Round 1: broadcast the collected one-hop
+    position map (so every node learns its two-hop neighbourhood geometry,
+    restricted to its own neighbours). Each node computes the MST of its
+    closed neighbourhood and nominates its incident MST edges; the
+    symmetric intersection is the LMST.
+    """
+
+    n_rounds = 2
+    combine = "intersection"
+
+    def __init__(self, *, unit: float = 1.0):
+        if unit <= 0:
+            raise ValueError("unit must be positive")
+        self.unit = float(unit)
+
+    def init_state(self, node, position, neighbor_ids):
+        return {
+            "id": node,
+            "pos": position,
+            "nbrs": list(neighbor_ids),
+            "positions": {},
+            "neighbor_maps": {},
+        }
+
+    def send(self, round_idx, state):
+        if round_idx == 0:
+            return tuple(state["pos"])
+        return {u: p for u, p in state["positions"].items()}
+
+    def receive(self, round_idx, state, inbox):
+        if round_idx == 0:
+            state["positions"].update(inbox)
+        else:
+            state["neighbor_maps"].update(inbox)
+
+    def nominations(self, state):
+        from repro.graphs.core import Graph
+        from repro.graphs.mst import kruskal_mst
+
+        me = state["id"]
+        local = sorted([me] + list(state["positions"]))
+        coords = dict(state["positions"])
+        coords[me] = tuple(state["pos"])
+        index = {node: i for i, node in enumerate(local)}
+        g = Graph(len(local))
+        for i, a in enumerate(local):
+            for b in local[i + 1 :]:
+                # edge a-b exists iff they are mutually within the unit
+                # range; each node checks this from learned positions
+                if a != me and b != me:
+                    # known only if b appears in a's broadcast map (or v.v.)
+                    amap = state["neighbor_maps"].get(a, {})
+                    bmap = state["neighbor_maps"].get(b, {})
+                    if b not in amap and a not in bmap:
+                        continue
+                d = _dist(coords[a], coords[b])
+                if d <= self.unit * (1.0 + 1e-12):
+                    g.add_edge(index[a], index[b], d)
+        mst = kruskal_mst(g)
+        keep = []
+        for i, j in mst.edges():
+            a, b = local[i], local[j]
+            if a == me:
+                keep.append(b)
+            elif b == me:
+                keep.append(a)
+        return keep

@@ -1,0 +1,5 @@
+"""Exact minimum-interference topologies for small instances."""
+
+from repro.exact.radii_search import minimum_interference, feasible_with_interference
+
+__all__ = ["minimum_interference", "feasible_with_interference"]

@@ -1,0 +1,184 @@
+"""Exact minimum-interference connected topology via branch and bound.
+
+Key reduction: interference depends on the chosen topology only through the
+per-node radii ``r_u``, and for a fixed radius vector the *maximal*
+admissible edge set ``E(r) = { {u, v} : |u, v| <= min(r_u, r_v) }`` is the
+easiest to connect while leaving the interference unchanged. The optimum is
+therefore::
+
+    OPT = min { I(r) : r_u in {distances from u}, E(r) connected }
+
+searched by assigning nodes a candidate radius each (distances to the other
+nodes, capped at the unit range) in depth-first order with two prunings:
+
+- **coverage pruning** — coverage counts only grow as radii are assigned,
+  so any victim exceeding the target ``k`` kills the subtree;
+- **forced-coverage pruning** — every unassigned node must take at least
+  its nearest-neighbour distance (otherwise it is isolated), so its minimal
+  future disk contribution is added before descending.
+
+The decision procedure is wrapped in an incremental search on ``k``
+starting from the certified lower bound ``max(1, ...)``. Exponential in the
+worst case — intended for ``n`` up to ~12 (tests use <= 10); for larger
+instances use the closed-form lower bounds of :mod:`repro.highway.bounds`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import distance_matrix
+from repro.graphs.unionfind import DisjointSet
+from repro.model.topology import Topology
+from repro.utils import check_positions
+
+#: Hard cap on instance size — beyond this the search space is hopeless.
+MAX_NODES = 16
+
+
+def _candidate_radii(dist: np.ndarray, unit: float) -> list[np.ndarray]:
+    """Per node, the sorted distinct candidate radii (> 0, <= unit)."""
+    n = dist.shape[0]
+    out = []
+    for u in range(n):
+        d = np.unique(dist[u])
+        d = d[(d > 0) & (d <= unit * (1.0 + 1e-12))]
+        out.append(d)
+    return out
+
+
+def _connected_under(dist: np.ndarray, radii: np.ndarray, unit: float) -> bool:
+    n = dist.shape[0]
+    ds = DisjointSet(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if dist[u, v] <= min(radii[u], radii[v]) * (1.0 + 1e-12):
+                ds.union(u, v)
+                if ds.n_components == 1:
+                    return True
+    return ds.n_components == 1
+
+
+def feasible_with_interference(
+    positions, k: int, *, unit: float = 1.0, isolation_pruning: bool = True
+) -> np.ndarray | None:
+    """Radius vector achieving a connected topology with ``I <= k``, or None.
+
+    ``isolation_pruning=False`` disables the partner-feasibility prune —
+    kept only for the ablation benchmark that quantifies its value.
+    """
+    pos = check_positions(positions)
+    n = pos.shape[0]
+    if n > MAX_NODES:
+        raise ValueError(f"exact search limited to n <= {MAX_NODES}, got {n}")
+    if n <= 1:
+        return np.zeros(n, dtype=np.float64)
+    dist = distance_matrix(pos)
+    cands = _candidate_radii(dist, unit)
+    if any(c.size == 0 for c in cands):
+        return None  # some node cannot reach anybody: never connectable
+
+    # coverage masks: cover[u][j] = boolean row of nodes covered by u at
+    # candidate radius j (self excluded)
+    cover = []
+    for u in range(n):
+        rows = dist[u][None, :] <= cands[u][:, None] * (1.0 + 1e-12)
+        rows[:, u] = False
+        cover.append(rows)
+
+    # minimal forced coverage of each still-unassigned node (its smallest disk)
+    forced = np.array([cover[u][0] for u in range(n)], dtype=np.int64)
+    forced_suffix = np.zeros((n + 1, n), dtype=np.int64)
+    for u in range(n - 1, -1, -1):
+        forced_suffix[u] = forced_suffix[u + 1] + forced[u]
+
+    counts = np.zeros(n, dtype=np.int64)
+    chosen = np.zeros(n, dtype=np.float64)
+    tol = 1.0 + 1e-12
+
+    def _admits_partner(v: int, u_done: int) -> bool:
+        rv = chosen[v] * tol
+        for w in range(n):
+            if w == v or dist[v, w] > rv:
+                continue
+            if w > u_done or chosen[w] * tol >= dist[v, w]:
+                return True
+        return False
+
+    def isolation_ok(u_done: int) -> bool:
+        """Every assigned node must still admit at least one partner.
+
+        A partner of ``v`` is some ``w`` with ``d(v, w) <= r_v`` whose own
+        radius is either still free or already large enough. Radii are
+        fixed once assigned, so a node failing this can never get an edge
+        and the whole subtree is infeasible. Incremental: besides the new
+        node itself, only earlier nodes whose disk reaches the new node
+        (and is not reached back) can have lost their last partner.
+        """
+        if not _admits_partner(u_done, u_done):
+            return False
+        ru = chosen[u_done] * tol
+        for v in range(u_done):
+            if dist[v, u_done] <= chosen[v] * tol and ru < dist[v, u_done]:
+                if not _admits_partner(v, u_done):
+                    return False
+        return True
+
+    def dfs(u: int) -> bool:
+        if u == n:
+            return _connected_under(dist, chosen, unit)
+        # forced-future pruning: remaining nodes each cover at least their
+        # smallest disk
+        if np.any(counts + forced_suffix[u] > k):
+            return False
+        for j in range(cands[u].size):
+            add = cover[u][j].astype(np.int64)
+            counts_new = counts + add
+            if counts_new.max() > k:
+                # larger radii cover supersets: all further j fail too
+                break
+            counts[:] = counts_new
+            chosen[u] = cands[u][j]
+            if (not isolation_pruning or isolation_ok(u)) and dfs(u + 1):
+                return True
+            counts[:] = counts_new - add
+        chosen[u] = 0.0
+        return False
+
+    if dfs(0):
+        return chosen.copy()
+    return None
+
+
+def minimum_interference(
+    positions, *, unit: float = 1.0, k_max: int | None = None
+) -> tuple[int, Topology]:
+    """Optimal interference value and a witness topology (maximal ``E(r)``).
+
+    Searches ``k = 1, 2, ...`` until the decision procedure succeeds. The
+    returned topology's *derived* radii can only shrink relative to the
+    witness assignment, so its measured interference equals the optimum
+    (asserted by the test suite). Raises ``RuntimeError`` if ``k_max`` is
+    exhausted (only possible when the UDG itself is disconnected).
+    """
+    pos = check_positions(positions)
+    n = pos.shape[0]
+    if n <= 1:
+        return 0, Topology(pos, ())
+    if k_max is None:
+        k_max = n - 1
+    dist = distance_matrix(pos)
+    for k in range(1, k_max + 1):
+        radii = feasible_with_interference(pos, k, unit=unit)
+        if radii is not None:
+            edges = [
+                (u, v)
+                for u in range(n)
+                for v in range(u + 1, n)
+                if dist[u, v] <= min(radii[u], radii[v]) * (1.0 + 1e-12)
+            ]
+            return k, Topology(pos, np.array(edges, dtype=np.int64))
+    raise RuntimeError(
+        f"no connected topology with interference <= {k_max}; "
+        "is the unit disk graph connected?"
+    )

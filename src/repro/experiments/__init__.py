@@ -1,0 +1,46 @@
+"""Experiment harness: one registered experiment per paper figure/theorem.
+
+Importing this package registers all experiments; use
+``repro.experiments.run("fig8_aexp")`` programmatically or
+``python -m repro.cli run fig8_aexp`` from a shell.
+"""
+
+from repro.experiments.registry import (
+    REGISTRY,
+    Experiment,
+    ExperimentResult,
+    get,
+    run,
+    run_all,
+)
+
+# importing the modules registers the experiments
+from repro.experiments import (  # noqa: F401  (import for side effects)
+    fig1_robustness,
+    fig2_sample,
+    thm41_nnf,
+    fig7_linear_chain,
+    fig8_aexp,
+    thm52_lower_bound,
+    thm54_agen,
+    thm56_aapx,
+    survey_baselines,
+    sim_collisions,
+    robustness_sweep,
+    ext_2d,
+    tdma,
+    sinr_validation,
+    mobility_timeline,
+    gathering,
+    distributed_tc,
+    ablation_spacing,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Experiment",
+    "ExperimentResult",
+    "get",
+    "run",
+    "run_all",
+]

@@ -1,0 +1,71 @@
+"""AB-1 — ablating A_gen's hub spacing (the sqrt(Delta) design choice).
+
+A_gen nominates every ceil(sqrt(Delta))-th node a hub. Sweeping the
+spacing exposes the U-curve this balances: spacing 1 degenerates toward
+the linear chain (every node a hub — catastrophic on exponential-type
+instances), spacing near Delta makes single hubs carry whole segments.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.geometry.generators import exponential_chain, random_highway
+from repro.highway.a_gen import a_gen
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+
+
+@register(
+    "ablation_agen_spacing",
+    "A_gen hub-spacing sweep: sqrt(Delta) sits at the U-curve's bottom",
+    "Section 5.2 design choice",
+)
+def run_ablation(seed: int = 67) -> ExperimentResult:
+    instances = {
+        "exp chain n=256": (exponential_chain(256), 255),
+        "random dense n=300": (random_highway(300, max_gap=0.05, seed=seed), None),
+    }
+    rows = []
+    data = {}
+    ok = True
+    for name, (pos, delta) in instances.items():
+        if delta is None:
+            delta = unit_disk_graph(pos).max_degree()
+        root = max(1, math.ceil(math.sqrt(delta)))
+        spacings = {
+            "1": 1,
+            "sqrt/2": max(1, root // 2),
+            "sqrt (paper)": root,
+            "2*sqrt": 2 * root,
+            "delta/2": max(1, delta // 2),
+        }
+        values = {
+            label: graph_interference(a_gen(pos, delta=delta, spacing=s))
+            for label, s in spacings.items()
+        }
+        rows.append([name, delta] + [values[k] for k in spacings])
+        data[name] = values
+    exp_values = data["exp chain n=256"]
+    # worst-case instance: sqrt(Delta) is the U-curve's bottom
+    ok = exp_values["sqrt (paper)"] == min(exp_values.values())
+    rnd_values = data["random dense n=300"]
+    linear_wins_easy = rnd_values["1"] <= rnd_values["sqrt (paper)"]
+    return ExperimentResult(
+        experiment_id="ablation_agen_spacing",
+        title="Ablation: A_gen hub spacing",
+        headers=["instance", "Delta", "s=1", "s=sqrt/2", "s=sqrt (paper)", "s=2*sqrt", "s=delta/2"],
+        rows=rows,
+        notes=[
+            f"on the worst-case exponential chain sqrt(Delta) is exactly the "
+            f"U-curve's minimum: {ok} "
+            f"(I = {exp_values['1']} / {exp_values['sqrt/2']} / "
+            f"{exp_values['sqrt (paper)']} / {exp_values['2*sqrt']} / "
+            f"{exp_values['delta/2']})",
+            f"on the benign random instance spacing 1 (the linear chain) "
+            f"wins: {linear_wins_easy} — exactly the observation that "
+            "motivates the hybrid A_apx (Section 5.3).",
+        ],
+        data=data,
+    )

@@ -1,0 +1,79 @@
+"""EXT-6 — distributed topology control: rounds, messages, equivalence.
+
+Runs the message-passing implementations of NNF, XTC and LMST over random
+UDGs, verifying exact equivalence with the centralized algorithms and
+reporting the communication cost (constant rounds, Theta(m) messages per
+round) alongside the resulting interference — locality is what makes these
+baselines deployable, and is precisely why Theorem 4.1's negative result
+about them matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed import (
+    DistributedLmst,
+    DistributedNnf,
+    DistributedXtc,
+    SynchronousNetwork,
+)
+from repro.experiments.registry import ExperimentResult, register
+from repro.geometry.generators import random_udg_connected
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.topologies import build
+
+
+@register(
+    "distributed_tc",
+    "Message-passing NNF/XTC/LMST: equivalence and communication cost",
+    "Section 2 context (local algorithms)",
+)
+def run_distributed(n: int = 60, seed: int = 53) -> ExperimentResult:
+    pos = random_udg_connected(n, side=0.5 * n**0.5, seed=seed)
+    udg = unit_disk_graph(pos)
+    net = SynchronousNetwork(udg)
+    protocols = {
+        "nnf": DistributedNnf(),
+        "xtc": DistributedXtc(),
+        "lmst": DistributedLmst(),
+    }
+    rows = []
+    data = {"matches": {}, "messages": {}}
+    for name, proto in protocols.items():
+        result = net.run(proto)
+        central = build(name, udg)
+        match = bool(np.array_equal(result.topology.edges, central.edges))
+        rows.append(
+            [
+                name,
+                result.rounds,
+                result.messages_total,
+                2 * udg.n_edges * result.rounds,
+                graph_interference(result.topology),
+                match,
+            ]
+        )
+        data["matches"][name] = match
+        data["messages"][name] = result.messages_total
+    all_match = all(data["matches"].values())
+    return ExperimentResult(
+        experiment_id="distributed_tc",
+        title=f"Distributed topology control (n={n}, m={udg.n_edges})",
+        headers=[
+            "protocol",
+            "rounds",
+            "messages",
+            "2m x rounds",
+            "I(G)",
+            "matches centralized",
+        ],
+        rows=rows,
+        notes=[
+            f"every protocol reproduces its centralized topology exactly: {all_match}",
+            "constant rounds, Theta(m) messages per round — the locality that "
+            "makes these algorithms practical, and Theorem 4.1's target.",
+        ],
+        data=data,
+    )

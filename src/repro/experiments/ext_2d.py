@@ -1,0 +1,86 @@
+"""EXT-1 — two-dimensional topology control (the paper's future work).
+
+"Adaptation of our approach to higher dimensions remains an open problem."
+This experiment evaluates the two heuristics of :mod:`repro.extensions` —
+the 2-D A_gen generalization and spanning-tree local search — against the
+classical baselines, on random deployments (where the EMST is already
+good) and on the adversarial two-exponential-chains instance (where every
+NNF-containing baseline collapses to Omega(n)).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.extensions import a_gen_2d, reduce_interference
+from repro.geometry.generators import random_udg_connected, two_exponential_chains
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.topologies import build
+
+
+@register(
+    "ext_2d",
+    "2-D extension: A_gen generalization and local search vs baselines",
+    "Section 6 future work",
+)
+def run_ext_2d(seed: int = 41, adversarial_ms=(8, 16)) -> ExperimentResult:
+    rows = []
+    data = {"instances": [], "emst": [], "a_gen_2d": [], "local_search": []}
+
+    def record(name, udg, unit):
+        emst = build("emst", udg)
+        g2 = a_gen_2d(udg.positions, unit=unit)
+        ls = reduce_interference(udg, seed=seed, max_rounds=3)
+        row = [
+            name,
+            udg.n,
+            udg.max_degree(),
+            graph_interference(emst),
+            graph_interference(g2),
+            graph_interference(ls),
+            g2.is_connected() and ls.is_connected(),
+        ]
+        rows.append(row)
+        data["instances"].append(name)
+        data["emst"].append(row[3])
+        data["a_gen_2d"].append(row[4])
+        data["local_search"].append(row[5])
+
+    for n, side in ((50, 3.2), (100, 4.5)):
+        pos = random_udg_connected(n, side=side, seed=seed)
+        record(f"random n={n}", unit_disk_graph(pos), 1.0)
+    for m in adversarial_ms:
+        pos, _ = two_exponential_chains(m)
+        unit = float(2.0 ** (m + 1))
+        record(f"two-chains m={m}", unit_disk_graph(pos, unit=unit), unit)
+
+    adv = [(e, l) for name, e, l in zip(
+        data["instances"], data["emst"], data["local_search"]
+    ) if name.startswith("two-chains")]
+    escape = all(l < e for e, l in adv)
+    return ExperimentResult(
+        experiment_id="ext_2d",
+        title="Future work: topology control in two dimensions",
+        headers=[
+            "instance",
+            "n",
+            "Delta",
+            "I(EMST)",
+            "I(A_gen 2D)",
+            "I(local search)",
+            "connected",
+        ],
+        rows=rows,
+        notes=[
+            "on random deployments the EMST is already near-optimal and the "
+            "2-D A_gen pays its hub overhead for nothing — mirroring the "
+            "uniform-chain story of Section 5.3",
+            f"on the adversarial instance local search escapes the Omega(n) "
+            f"EMST trap toward the Figure 5 optimum: {escape}",
+            "no worst-case bound is claimed for either heuristic — that "
+            "remains the paper's open problem.",
+        ],
+        data=data,
+    )

@@ -1,0 +1,62 @@
+"""E5 / Theorem 5.1, Figure 8 — A_exp achieves O(sqrt(n)) on the chain.
+
+Sweeps the chain size, compares against the closed-form bound of
+Theorem 5.1 and against the linear chain, fits the growth exponent, and
+renders the Figure 8 arc diagram.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.fitting import fit_power_law
+from repro.experiments.registry import ExperimentResult, register
+from repro.geometry.generators import exponential_chain
+from repro.highway.a_exp import a_exp
+from repro.highway.bounds import aexp_interference_bound
+from repro.interference.receiver import graph_interference
+from repro.render.ascii_art import render_highway_arcs
+
+
+@register(
+    "fig8_aexp",
+    "A_exp on the exponential chain: I = O(sqrt(n))",
+    "Theorem 5.1 / Figure 8",
+)
+def run_fig8(sizes=(16, 32, 64, 128, 256, 512, 1024)) -> ExperimentResult:
+    rows = []
+    data = {"n": [], "I": [], "bound": []}
+    for n in sizes:
+        pos = exponential_chain(n)
+        topo = a_exp(pos)
+        ival = graph_interference(topo)
+        linear_i = n - 2
+        bound = aexp_interference_bound(n)
+        rows.append(
+            [
+                n,
+                ival,
+                round(bound, 2),
+                round(math.sqrt(2 * n), 2),
+                linear_i,
+                topo.is_connected(),
+            ]
+        )
+        data["n"].append(n)
+        data["I"].append(ival)
+        data["bound"].append(bound)
+    fit = fit_power_law(data["n"], data["I"])
+    art = render_highway_arcs(a_exp(exponential_chain(30)), width=96)
+    return ExperimentResult(
+        experiment_id="fig8_aexp",
+        title="Theorem 5.1 / Figure 8: algorithm A_exp",
+        headers=["n", "I(A_exp)", "Thm 5.1 bound", "sqrt(2n)", "I(linear)=n-2", "connected"],
+        rows=rows,
+        notes=[
+            f"fitted growth exponent {fit.exponent:.3f} (paper: 0.5), "
+            f"R^2 = {fit.r_squared:.4f}",
+            "A_exp beats the linear chain exponentially while staying connected.",
+        ],
+        figures=["Figure 8 reproduction (exponential chain, n=30, log-scaled axis):\n" + art],
+        data={**data, "fit_exponent": fit.exponent},
+    )

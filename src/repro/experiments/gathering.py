@@ -1,0 +1,86 @@
+"""EXT-5 — low-interference data gathering (the measure's [4] origin).
+
+All nodes periodically report to a sink over a routing tree. Compares the
+latency-optimal shortest-path tree against the interference-greedy tree
+and its depth-bounded variant, both statically (I, depth) and under the
+packet-level gather simulator (delivery, retransmission overhead) — the
+interference-vs-latency trade-off, quantified.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.extensions.gathering import (
+    low_interference_gather_tree,
+    shortest_path_tree,
+    tree_depth,
+)
+from repro.geometry.generators import random_udg_connected
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.sim.slotted import GatherSimulator
+from repro.sim.traffic import gather_tree
+
+
+@register(
+    "gathering",
+    "Low-interference data-gathering trees vs the shortest-path tree",
+    "Model origin [4] / Section 2",
+)
+def run_gathering(
+    n: int = 60, seed: int = 15, n_slots: int = 4000
+) -> ExperimentResult:
+    pos = random_udg_connected(n, side=0.465 * n**0.5, seed=seed)
+    udg = unit_disk_graph(pos)
+    sink = 0
+    spt = shortest_path_tree(udg, sink)
+    d_spt = tree_depth(spt, sink)
+    trees = {
+        "shortest-path tree": spt,
+        "interference-greedy": low_interference_gather_tree(udg, sink),
+        f"greedy, depth <= {2 * d_spt}": low_interference_gather_tree(
+            udg, sink, depth_limit=2 * d_spt
+        ),
+    }
+    rows = []
+    data = {"names": [], "I": [], "depth": [], "overhead": [], "delivered": []}
+    for name, tree in trees.items():
+        parent = gather_tree(tree, sink)
+        out = GatherSimulator(tree, parent, p=0.15, source_period=150).run(
+            n_slots, seed=seed + 1
+        )
+        ival = graph_interference(tree)
+        depth = tree_depth(tree, sink)
+        rows.append(
+            [
+                name,
+                ival,
+                depth,
+                out["delivered"],
+                out["sourced"],
+                round(out["retransmission_overhead"], 2),
+            ]
+        )
+        data["names"].append(name)
+        data["I"].append(ival)
+        data["depth"].append(depth)
+        data["overhead"].append(out["retransmission_overhead"])
+        data["delivered"].append(out["delivered"])
+    improves = data["I"][1] < data["I"][0] and data["overhead"][1] < data["overhead"][0]
+    balanced = (
+        data["I"][2] < data["I"][0]
+        and data["delivered"][2] > 0.8 * data["delivered"][0]
+    )
+    return ExperimentResult(
+        experiment_id="gathering",
+        title=f"Data gathering to a sink (n={n})",
+        headers=["tree", "I(G)", "depth", "delivered", "sourced", "retx/packet"],
+        rows=rows,
+        notes=[
+            f"the interference-greedy tree cuts both I and retransmissions: {improves} "
+            "— but pays in depth (latency)",
+            f"the depth-bounded variant keeps most of the interference win at "
+            f"near-SPT delivery: {balanced}",
+        ],
+        data=data,
+    )

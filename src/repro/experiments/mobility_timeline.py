@@ -1,0 +1,80 @@
+"""EXT-4 — interference under mobility.
+
+Nodes move by random waypoint; the topology-control algorithm re-runs at
+each sampling instant. A useful measure must stay stable while the
+geometry drifts: the receiver-centric interference of maintained
+low-interference topologies varies within a small band, while the full
+UDG's tracks the (much larger) local density. Edge churn is reported as
+the maintenance cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.mobility import RandomWaypointModel, TopologyTimeline
+from repro.topologies import build
+
+
+@register(
+    "mobility_timeline",
+    "Interference stability and topology churn under random-waypoint mobility",
+    "Section 1 setting (mobile nodes)",
+)
+def run_mobility(
+    n: int = 40, n_steps: int = 25, seed: int = 47
+) -> ExperimentResult:
+    model = RandomWaypointModel(n, side=4.5, v_min=0.1, v_max=0.4, seed=seed)
+    frames = model.trajectory(n_steps, dt=1.0)
+
+    algorithms = {
+        "udg": lambda udg: udg,
+        "emst": lambda udg: build("emst", udg),
+        "lmst": lambda udg: build("lmst", udg),
+        "rng": lambda udg: build("rng", udg),
+    }
+    rows = []
+    data = {}
+    for name, fn in algorithms.items():
+        result = TopologyTimeline(fn).run(frames)
+        series = result.receiver_interference
+        rows.append(
+            [
+                name,
+                int(series.min()),
+                float(np.median(series)),
+                int(series.max()),
+                int(series.max() - series.min()),
+                float(result.churn.mean()),
+                bool(result.connected.all()),
+            ]
+        )
+        data[name] = {
+            "series": series,
+            "churn_mean": float(result.churn.mean()),
+        }
+    controlled = [r for r in rows if r[0] != "udg"]
+    udg_row = next(r for r in rows if r[0] == "udg")
+    bounded = all(r[3] <= udg_row[3] for r in controlled)
+    return ExperimentResult(
+        experiment_id="mobility_timeline",
+        title=f"Random waypoint mobility ({n} nodes, {n_steps} steps)",
+        headers=[
+            "algorithm",
+            "I min",
+            "I median",
+            "I max",
+            "I range",
+            "mean churn/step",
+            "connectivity kept",
+        ],
+        rows=rows,
+        notes=[
+            f"maintained topologies keep interference below the raw UDG at "
+            f"every instant: {bounded}",
+            "churn (edges rewired per step) is the price of maintenance — "
+            "sparser topologies rewire less.",
+        ],
+        data=data,
+    )

@@ -1,0 +1,116 @@
+"""Experiment registration and execution plumbing."""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run: a table, free-form notes and raw data."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+    #: extra preformatted blocks (e.g. ASCII figures) appended verbatim
+    figures: list[str] = field(default_factory=list)
+    #: machine-readable payload for JSON export
+    data: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def render(self) -> str:
+        parts = [format_table(self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}")]
+        for note in self.notes:
+            parts.append(f"  - {note}")
+        for fig in self.figures:
+            parts.append("")
+            parts.append(fig)
+        parts.append(f"  (elapsed: {self.elapsed_s:.2f}s)")
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "headers": self.headers,
+                "rows": self.rows,
+                "notes": self.notes,
+                "data": self.data,
+                "elapsed_s": self.elapsed_s,
+            },
+            default=_jsonable,
+            indent=2,
+        )
+
+
+def _jsonable(obj):
+    try:
+        import numpy as np
+
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+    except ImportError:  # pragma: no cover
+        pass
+    return str(obj)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper artifact."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    fn: Callable[..., ExperimentResult]
+
+    def run(self, **kwargs) -> ExperimentResult:
+        start = time.perf_counter()
+        result = self.fn(**kwargs)
+        result.elapsed_s = time.perf_counter() - start
+        return result
+
+
+REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str, paper_ref: str):
+    """Decorator registering an experiment function."""
+
+    def deco(fn):
+        if experiment_id in REGISTRY:
+            raise ValueError(f"experiment {experiment_id!r} already registered")
+        REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id, title=title, paper_ref=paper_ref, fn=fn
+        )
+        return fn
+
+    return deco
+
+
+def get(experiment_id: str) -> Experiment:
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+def run(experiment_id: str, **kwargs) -> ExperimentResult:
+    return get(experiment_id).run(**kwargs)
+
+
+def run_all(**kwargs) -> list[ExperimentResult]:
+    return [exp.run(**kwargs) for _, exp in sorted(REGISTRY.items())]

@@ -1,0 +1,56 @@
+"""Report generation: consolidated output of all experiments.
+
+``python -m repro.cli report --out report.md`` regenerates the full
+measured section of EXPERIMENTS.md; ``--csv-dir`` exports every
+experiment's table as CSV for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.experiments.registry import ExperimentResult
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """The experiment's table as CSV text (header row included)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def write_csvs(results: list[ExperimentResult], directory: Path) -> list[Path]:
+    """Write one ``<id>.csv`` per experiment; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for result in results:
+        path = directory / f"{result.experiment_id}.csv"
+        path.write_text(result_to_csv(result))
+        paths.append(path)
+    return paths
+
+
+def render_report(results: list[ExperimentResult], *, title: str | None = None) -> str:
+    """Markdown report: every experiment's table, notes and figures."""
+    parts = []
+    if title:
+        parts.append(f"# {title}\n")
+    for result in sorted(results, key=lambda r: r.experiment_id):
+        parts.append(f"## {result.experiment_id} — {result.title}\n")
+        parts.append("```")
+        parts.append(result.render())
+        parts.append("```\n")
+    return "\n".join(parts)
+
+
+def write_report(results: list[ExperimentResult], path: Path, **kwargs) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_report(results, **kwargs))
+    return path

@@ -1,0 +1,62 @@
+"""EXT-2 — TDMA schedule length tracks the receiver-centric measure.
+
+A collision-free counterpart to the ALOHA experiment: if links are
+scheduled so no receiver can be disturbed, the number of slots needed is
+an operational cost of interference. Across topologies, the greedy
+schedule length sits within a small constant of I(G) + 1 — topology
+control pays off directly in medium-access capacity.
+"""
+
+from __future__ import annotations
+
+from scipy import stats
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.geometry.generators import exponential_chain, random_udg_connected
+from repro.highway.a_exp import a_exp
+from repro.highway.linear import linear_chain
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.sim.scheduling import greedy_tdma_schedule, validate_schedule
+from repro.topologies import build
+
+
+def _cases(seed: int):
+    pos = exponential_chain(40)
+    yield "exp40/linear", linear_chain(pos)
+    yield "exp40/a_exp", a_exp(pos)
+    pos2 = random_udg_connected(60, side=4.0, seed=seed)
+    udg = unit_disk_graph(pos2)
+    for name in ("emst", "lmst", "rng", "yao6", "cbtc"):
+        yield f"rand60/{name}", build(name, udg)
+
+
+@register(
+    "tdma_scheduling",
+    "Greedy TDMA schedule length vs the interference measure",
+    "Section 1 motivation (scheduling substrate)",
+)
+def run_tdma(seed: int = 19) -> ExperimentResult:
+    rows = []
+    ivals, slots = [], []
+    for name, topo in _cases(seed):
+        colors = greedy_tdma_schedule(topo)
+        length = int(colors.max()) + 1
+        ival = graph_interference(topo)
+        assert validate_schedule(topo, colors)
+        rows.append([name, ival, length, round(length / (ival + 1), 2)])
+        ivals.append(ival)
+        slots.append(length)
+    corr = float(stats.spearmanr(ivals, slots)[0])
+    return ExperimentResult(
+        experiment_id="tdma_scheduling",
+        title="TDMA slots needed vs receiver-centric interference",
+        headers=["case", "I(G)", "TDMA slots", "slots/(I+1)"],
+        rows=rows,
+        notes=[
+            f"schedule length tracks I(G): spearman = {corr:.3f}",
+            "every schedule validated conflict-free; lowering interference "
+            "buys medium-access capacity one-for-one.",
+        ],
+        data={"I": ivals, "slots": slots, "spearman": corr},
+    )

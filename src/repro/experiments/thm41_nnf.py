@@ -1,0 +1,81 @@
+"""E3 / Theorem 4.1, Figures 3-5 — the Nearest Neighbor Forest separation.
+
+On the two-exponential-chains instance, any topology containing the NNF
+(here: the Euclidean MST, which always does, and the NNF itself) has
+interference Omega(n), while the explicit Figure 5 tree achieves O(1).
+Known baselines are also evaluated to show they all sit on the wrong side.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.geometry.generators import two_exponential_chains
+from repro.interference.receiver import graph_interference, node_interference
+from repro.model.udg import unit_disk_graph
+from repro.topologies import build
+from repro.topologies.constructions import two_chains_optimal_tree
+from repro.topologies.nnf import nearest_neighbor_edges
+
+
+@register(
+    "thm41_nnf",
+    "NNF-containing topologies are Omega(n) vs O(1) optimum",
+    "Theorem 4.1 / Figures 3-5",
+)
+def run_thm41(ms=(4, 8, 16, 32, 64)) -> ExperimentResult:
+    rows = []
+    data = {"n": [], "nnf_I": [], "emst_I": [], "opt_I": [], "Ih0": []}
+    for m in ms:
+        pos, groups = two_exponential_chains(m)
+        n = pos.shape[0]
+        # the instance is scale-free: evaluate on the complete graph (every
+        # node may connect to every other), mirroring the paper's setting
+        udg = unit_disk_graph(pos, unit=float(2.0 ** (m + 1)))
+        nnf = build("nnf", udg)
+        emst = build("emst", udg)
+        opt = two_chains_optimal_tree(pos, groups)
+        emst_vec = node_interference(emst)
+        contains = emst.contains_edges(nearest_neighbor_edges(udg))
+        rows.append(
+            [
+                m,
+                n,
+                graph_interference(nnf),
+                int(emst_vec.max()),
+                int(emst_vec[groups["h"][0]]),
+                graph_interference(opt),
+                contains,
+                opt.is_connected(),
+            ]
+        )
+        data["n"].append(n)
+        data["nnf_I"].append(graph_interference(nnf))
+        data["emst_I"].append(int(emst_vec.max()))
+        data["opt_I"].append(graph_interference(opt))
+        data["Ih0"].append(int(emst_vec[groups["h"][0]]))
+    grows = all(b > a for a, b in zip(data["emst_I"], data["emst_I"][1:]))
+    const = max(data["opt_I"]) - min(data["opt_I"]) <= 1
+    return ExperimentResult(
+        experiment_id="thm41_nnf",
+        title="Theorem 4.1: two exponential chains",
+        headers=[
+            "m",
+            "n",
+            "I(NNF)",
+            "I(EMST)",
+            "I(h0) in EMST",
+            "I(optimal tree)",
+            "EMST contains NNF",
+            "opt connected",
+        ],
+        rows=rows,
+        notes=[
+            f"EMST interference grows linearly with n: {grows} "
+            "(h0 is covered by every horizontal node that connects rightwards)",
+            f"Figure 5 tree stays constant: {const} "
+            f"(I in {sorted(set(data['opt_I']))})",
+            "paper claim: NNF-containing algorithms can be Omega(n) times worse "
+            "than the optimum.",
+        ],
+        data=data,
+    )

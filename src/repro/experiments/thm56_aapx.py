@@ -1,0 +1,95 @@
+"""E8 / Theorem 5.6 — A_apx approximates the optimum within O(Delta^(1/4)).
+
+Measures the certified approximation ratio I(A_apx) / max(lower bound, OPT)
+across regimes: the uniform chain (linear branch), the exponential chain
+(A_gen branch) and random highways. For tiny instances the true optimum
+from the branch-and-bound solver replaces the Lemma 5.5 bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exact.radii_search import minimum_interference
+from repro.experiments.registry import ExperimentResult, register
+from repro.geometry.generators import (
+    exponential_chain,
+    fragmented_exponential_chain,
+    random_highway,
+    uniform_chain,
+)
+from repro.highway.a_apx import a_apx
+from repro.interference.receiver import graph_interference
+
+
+def _instances(seed: int):
+    yield "uniform n=9", uniform_chain(9, spacing=0.1), True
+    yield "exp chain n=9", exponential_chain(9), True
+    yield "random n=9", random_highway(9, max_gap=0.1, seed=seed), True
+    yield "uniform n=200", uniform_chain(200, spacing=0.004), False
+    yield "exp chain n=256", exponential_chain(256), False
+    yield "fragmented 6x20", fragmented_exponential_chain(6, 20), False
+    yield "random dense n=300", random_highway(300, max_gap=0.05, seed=seed + 1), False
+    yield "random sparse n=150", random_highway(150, max_gap=0.9, seed=seed + 2), False
+
+
+@register(
+    "thm56_aapx",
+    "A_apx approximation ratio across highway regimes",
+    "Theorem 5.6",
+)
+def run_thm56(seed: int = 13) -> ExperimentResult:
+    rows = []
+    worst_certified = 0.0
+    data = {"instances": [], "ratio": []}
+    for name, pos, exact in _instances(seed):
+        topo, info = a_apx(pos, return_info=True)
+        ival = graph_interference(topo)
+        if exact:
+            opt, _ = minimum_interference(pos)
+            baseline = float(opt)
+            baseline_kind = "OPT"
+        else:
+            baseline = max(info.lower_bound, 1.0)
+            baseline_kind = "LB 5.5"
+        ratio = ival / baseline
+        worst_certified = max(worst_certified, ratio)
+        budget = max(info.delta, 1) ** 0.25
+        rows.append(
+            [
+                name,
+                info.gamma,
+                info.delta,
+                info.branch,
+                ival,
+                round(baseline, 2),
+                baseline_kind,
+                round(ratio, 2),
+                round(budget, 2),
+            ]
+        )
+        data["instances"].append(name)
+        data["ratio"].append(ratio)
+    return ExperimentResult(
+        experiment_id="thm56_aapx",
+        title="Theorem 5.6: hybrid algorithm A_apx",
+        headers=[
+            "instance",
+            "gamma",
+            "Delta",
+            "branch",
+            "I(A_apx)",
+            "baseline",
+            "kind",
+            "ratio",
+            "Delta^1/4",
+        ],
+        rows=rows,
+        notes=[
+            f"worst certified ratio {worst_certified:.2f}; the paper guarantees "
+            "O(Delta^(1/4)) against the true optimum",
+            "the linear branch fires exactly on low-gamma (uniform-like) "
+            "instances where A_gen would be wasteful.",
+        ],
+        data=data,
+    )

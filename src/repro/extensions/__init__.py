@@ -1,0 +1,30 @@
+"""Extensions beyond the paper: the stated future work.
+
+The paper closes with "Adaptation of our approach to higher dimensions
+remains an open problem and is left for future work." This package
+supplies two such adaptations, evaluated by experiment ``ext_2d``:
+
+- :func:`a_gen_2d` — the natural 2-D generalization of Algorithm A_gen:
+  unit-diameter cells, sqrt(Delta)-spaced hubs per cell, shortest
+  inter-cell links. Heuristic: no proven bound, but empirically
+  O(sqrt(Delta))-like on random instances.
+- :func:`reduce_interference` — spanning-tree local search (edge swaps
+  evaluated with the incremental tracker) that improves *any* starting
+  topology, typically beating every classical baseline.
+"""
+
+from repro.extensions.a_gen_2d import a_gen_2d
+from repro.extensions.local_search import reduce_interference
+from repro.extensions.gathering import (
+    low_interference_gather_tree,
+    shortest_path_tree,
+    tree_depth,
+)
+
+__all__ = [
+    "a_gen_2d",
+    "reduce_interference",
+    "low_interference_gather_tree",
+    "shortest_path_tree",
+    "tree_depth",
+]

@@ -1,0 +1,87 @@
+"""A_gen in two dimensions (the paper's future-work direction).
+
+Generalizes the Section 5.2 construction:
+
+1. Partition the plane into square cells of side ``unit / sqrt(2)`` so any
+   two nodes sharing a cell are UDG-adjacent (cell diameter = unit).
+2. Within each cell, nominate every ``ceil(sqrt(Delta))``-th node a hub
+   (plus the last node), connect the hubs linearly, and attach every
+   regular node to its nearest hub — exactly the intra-segment rule of
+   A_gen.
+3. For every pair of cells joined by at least one UDG edge, add the
+   *shortest* such edge, preserving UDG connectivity with one link per
+   cell pair.
+
+No worst-case bound is proven here (that is the open problem); the
+``ext_2d`` experiment measures its behaviour against the classical
+baselines and the local-search optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+from repro.utils import check_positions
+
+
+def a_gen_2d(positions, *, unit: float = 1.0, delta: int | None = None) -> Topology:
+    """Run the 2-D A_gen generalization; returns a UDG subtopology."""
+    pos = check_positions(positions)
+    n = pos.shape[0]
+    if unit <= 0:
+        raise ValueError("unit must be positive")
+    if n <= 1:
+        return Topology(pos, ())
+    udg = unit_disk_graph(pos, unit=unit)
+    if delta is None:
+        delta = udg.max_degree()
+    if delta <= 0:
+        return Topology(pos, ())
+    spacing = max(1, math.ceil(math.sqrt(delta)))
+
+    cell_side = unit / math.sqrt(2.0)
+    origin = pos.min(axis=0)
+    cells = np.floor((pos - origin) / cell_side).astype(np.int64)
+    cell_ids = [tuple(c) for c in cells]
+
+    members_of: dict[tuple[int, int], list[int]] = {}
+    for v, cid in enumerate(cell_ids):
+        members_of.setdefault(cid, []).append(v)
+
+    edges: list[tuple[int, int]] = []
+    # intra-cell: A_gen's segment rule, nodes ordered by x (ties by y/index)
+    for cid, members in members_of.items():
+        members = sorted(
+            members, key=lambda v: (pos[v, 0], pos[v, 1], v)
+        )
+        hubs = members[::spacing]
+        if members[-1] != hubs[-1]:
+            hubs.append(members[-1])
+        edges.extend(zip(hubs, hubs[1:]))
+        for k in range(len(hubs) - 1):
+            left, right = hubs[k], hubs[k + 1]
+            lo = members.index(left)
+            hi = members.index(right)
+            for v in members[lo + 1 : hi]:
+                d_left = float(np.hypot(*(pos[v] - pos[left])))
+                d_right = float(np.hypot(*(pos[v] - pos[right])))
+                edges.append((v, left if d_left <= d_right else right))
+
+    # inter-cell: the shortest UDG edge per cell pair
+    best: dict[tuple, tuple[float, int, int]] = {}
+    lengths = udg.edge_lengths
+    for k, (u, v) in enumerate(udg.edges):
+        cu, cv = cell_ids[u], cell_ids[v]
+        if cu == cv:
+            continue
+        key = (cu, cv) if cu < cv else (cv, cu)
+        cand = (float(lengths[k]), int(u), int(v))
+        if key not in best or cand < best[key]:
+            best[key] = cand
+    edges.extend((u, v) for _, u, v in best.values())
+
+    return Topology(pos, np.array(edges, dtype=np.int64).reshape(-1, 2))

@@ -1,0 +1,43 @@
+"""Geometric substrate: distance kernels, spatial indexing, instance generators."""
+
+from repro.geometry.points import (
+    bounding_box,
+    distance,
+    distance_matrix,
+    distances_from,
+    pairwise_within,
+)
+from repro.geometry.spatial import GridIndex
+from repro.geometry.generators import (
+    cluster_with_remote,
+    exponential_chain,
+    fragmented_exponential_chain,
+    grid_points,
+    perturb,
+    random_cluster,
+    random_highway,
+    random_udg_connected,
+    random_uniform_square,
+    two_exponential_chains,
+    uniform_chain,
+)
+
+__all__ = [
+    "distance",
+    "distance_matrix",
+    "distances_from",
+    "pairwise_within",
+    "bounding_box",
+    "GridIndex",
+    "exponential_chain",
+    "uniform_chain",
+    "random_highway",
+    "fragmented_exponential_chain",
+    "two_exponential_chains",
+    "cluster_with_remote",
+    "random_uniform_square",
+    "random_cluster",
+    "grid_points",
+    "perturb",
+    "random_udg_connected",
+]

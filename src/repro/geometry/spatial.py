@@ -1,0 +1,127 @@
+"""Uniform grid spatial index for radius queries.
+
+The index buckets points into square cells of a fixed ``cell_size``. A radius
+query then only inspects the O((r / cell_size + 1)^2) cells overlapping the
+query disk instead of all n points, which turns UDG construction and
+interference counting into near-linear work for bounded-density instances.
+
+The implementation follows the HPC guides: bucketing is done with a single
+``argsort`` over flattened cell ids (vectorized), and queries slice the sorted
+arrays via ``searchsorted`` — no per-point Python loops at build time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_positions
+
+
+class GridIndex:
+    """Static uniform-grid index over a 2-D point set.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` point array.
+    cell_size:
+        Edge length of grid cells. A good default is the typical query
+        radius (e.g. the UDG unit range): each query then touches at most
+        nine cells.
+    """
+
+    def __init__(self, positions, cell_size: float):
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.positions = check_positions(positions)
+        self.cell_size = float(cell_size)
+        n = self.positions.shape[0]
+        if n == 0:
+            self._order = np.empty(0, dtype=np.int64)
+            self._cell_ids = np.empty(0, dtype=np.int64)
+            self._starts = {}
+            self._origin = np.zeros(2)
+            self._ncols = 1
+            return
+        self._origin = self.positions.min(axis=0)
+        cells = np.floor((self.positions - self._origin) / self.cell_size).astype(
+            np.int64
+        )
+        self._ncols = int(cells[:, 0].max()) + 2
+        flat = cells[:, 1] * self._ncols + cells[:, 0]
+        self._order = np.argsort(flat, kind="stable")
+        self._cell_ids = flat[self._order]
+        # map flat cell id -> slice into _order
+        uniq, starts = np.unique(self._cell_ids, return_index=True)
+        ends = np.append(starts[1:], len(self._cell_ids))
+        self._starts = {
+            int(c): (int(s), int(e)) for c, s, e in zip(uniq, starts, ends)
+        }
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    def _cells_overlapping(self, center: np.ndarray, radius: float):
+        lo = np.floor((center - radius - self._origin) / self.cell_size).astype(int)
+        hi = np.floor((center + radius - self._origin) / self.cell_size).astype(int)
+        for cy in range(lo[1], hi[1] + 1):
+            for cx in range(lo[0], hi[0] + 1):
+                yield cy * self._ncols + cx
+
+    def query_radius(self, center, radius: float) -> np.ndarray:
+        """Indices of all points within ``radius`` of ``center`` (inclusive)."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        center = np.asarray(center, dtype=np.float64)
+        if len(self) == 0:
+            return np.empty(0, dtype=np.int64)
+        candidate_blocks = []
+        for cell in self._cells_overlapping(center, radius):
+            span = self._starts.get(cell)
+            if span is not None:
+                candidate_blocks.append(self._order[span[0] : span[1]])
+        if not candidate_blocks:
+            return np.empty(0, dtype=np.int64)
+        cand = np.concatenate(candidate_blocks)
+        diff = self.positions[cand] - center
+        d2 = diff[:, 0] ** 2 + diff[:, 1] ** 2
+        hits = cand[d2 <= radius * radius]
+        hits.sort()
+        return hits
+
+    def query_point(self, index: int, radius: float) -> np.ndarray:
+        """Indices within ``radius`` of point ``index`` (``index`` excluded)."""
+        hits = self.query_radius(self.positions[index], radius)
+        return hits[hits != index]
+
+    def pairs_within(self, radius: float) -> np.ndarray:
+        """All unordered pairs with distance <= ``radius``; ``(m, 2)`` int64.
+
+        Equivalent to :func:`repro.geometry.pairwise_within` but near-linear
+        for bounded-density instances.
+        """
+        n = len(self)
+        rows: list[np.ndarray] = []
+        for i in range(n):
+            hits = self.query_point(i, radius)
+            hits = hits[hits > i]
+            if hits.size:
+                rows.append(
+                    np.stack([np.full(hits.size, i, dtype=np.int64), hits], axis=1)
+                )
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(rows, axis=0)
+
+    def count_within(self, centers, radii) -> np.ndarray:
+        """For each ``(center, radius)`` pair, count indexed points inside.
+
+        ``centers`` is ``(m, 2)``; ``radii`` length ``m``. Returns int64
+        counts (points at exactly the radius are counted).
+        """
+        centers = check_positions(centers, name="centers")
+        radii = np.asarray(radii, dtype=np.float64)
+        out = np.empty(centers.shape[0], dtype=np.int64)
+        for k in range(centers.shape[0]):
+            out[k] = self.query_radius(centers[k], float(radii[k])).size
+        return out

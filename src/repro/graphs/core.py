@@ -1,0 +1,127 @@
+"""Minimal undirected graph with adjacency sets and optional edge weights."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.utils import check_edge_array
+
+
+def _canon(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """Simple undirected graph over nodes ``0 .. n-1``.
+
+    Edges are unweighted unless a weight is supplied; weights default to 1.0.
+    The class is deliberately small — just what the topology-control
+    algorithms and the simulator need: O(1) adjacency queries, edge
+    iteration, and conversion to flat numpy edge arrays.
+    """
+
+    def __init__(self, n: int, edges: Iterable = ()):  # noqa: D401
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self.n = int(n)
+        self._adj: list[set[int]] = [set() for _ in range(self.n)]
+        self._weights: dict[tuple[int, int], float] = {}
+        for e in edges:
+            if len(e) == 3:
+                u, v, w = e
+                self.add_edge(int(u), int(v), float(w))
+            else:
+                u, v = e
+                self.add_edge(int(u), int(v))
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_edge_array(cls, n: int, edges, weights=None) -> "Graph":
+        """Build from an ``(m, 2)`` edge array and optional weight vector."""
+        arr = check_edge_array(edges, n)
+        g = cls(n)
+        if weights is None:
+            for u, v in arr:
+                g.add_edge(int(u), int(v))
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape[0] != np.asarray(edges).shape[0]:
+                raise ValueError("weights must align with edges")
+            # weights align with the *input* rows, so walk the raw input
+            raw = np.asarray(edges, dtype=np.int64)
+            for (u, v), w in zip(raw, weights):
+                g.add_edge(int(u), int(v), float(w))
+        return g
+
+    def copy(self) -> "Graph":
+        g = Graph(self.n)
+        g._adj = [set(s) for s in self._adj]
+        g._weights = dict(self._weights)
+        return g
+
+    # -- mutation ----------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={self.n}")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._weights[_canon(u, v)] = float(weight)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        key = _canon(u, v)
+        if key not in self._weights:
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        del self._weights[key]
+
+    # -- queries -----------------------------------------------------------
+    def has_edge(self, u: int, v: int) -> bool:
+        return _canon(u, v) in self._weights
+
+    def weight(self, u: int, v: int) -> float:
+        return self._weights[_canon(u, v)]
+
+    def neighbors(self, u: int) -> frozenset[int]:
+        return frozenset(self._adj[u])
+
+    def degree(self, u: int) -> int:
+        return len(self._adj[u])
+
+    def max_degree(self) -> int:
+        return max((len(s) for s in self._adj), default=0)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._weights)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate canonical ``(u, v)`` pairs with ``u < v`` (sorted)."""
+        return iter(sorted(self._weights))
+
+    def edge_array(self) -> np.ndarray:
+        """``(m, 2)`` int64 canonical edge array, lexicographically sorted."""
+        if not self._weights:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.array(sorted(self._weights), dtype=np.int64)
+
+    def weight_array(self) -> np.ndarray:
+        """Weights aligned with :meth:`edge_array` rows."""
+        return np.array(
+            [self._weights[k] for k in sorted(self._weights)], dtype=np.float64
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.n == other.n and self._weights.keys() == other._weights.keys()
+
+    def __hash__(self):  # graphs are mutable
+        raise TypeError("Graph is unhashable")
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.n_edges})"

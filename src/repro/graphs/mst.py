@@ -1,0 +1,96 @@
+"""Minimum spanning tree / forest algorithms (Kruskal and Prim)."""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graphs.core import Graph
+from repro.graphs.unionfind import DisjointSet
+
+
+def kruskal_mst(graph: Graph) -> Graph:
+    """Minimum spanning forest of ``graph`` via Kruskal's algorithm.
+
+    Works per component (a spanning forest when disconnected). Ties are
+    broken by canonical edge order, so the result is deterministic.
+    """
+    edges = sorted(
+        graph.edges(), key=lambda e: (graph.weight(*e), e[0], e[1])
+    )
+    ds = DisjointSet(graph.n)
+    out = Graph(graph.n)
+    for u, v in edges:
+        if ds.union(u, v):
+            out.add_edge(u, v, graph.weight(u, v))
+            if ds.n_components == 1:
+                break
+    return out
+
+
+def prim_mst(graph: Graph, *, root: int = 0) -> Graph:
+    """Minimum spanning forest via Prim's algorithm with a binary heap.
+
+    Grows from ``root``, then restarts from the smallest unvisited node of
+    each remaining component so disconnected inputs yield a spanning forest.
+    """
+    if graph.n == 0:
+        return Graph(0)
+    if not (0 <= root < graph.n):
+        raise ValueError("root out of range")
+    out = Graph(graph.n)
+    visited = [False] * graph.n
+    starts = [root] + [v for v in range(graph.n) if v != root]
+    for start in starts:
+        if visited[start]:
+            continue
+        visited[start] = True
+        heap: list[tuple[float, int, int]] = []
+        for v in graph.neighbors(start):
+            heapq.heappush(heap, (graph.weight(start, v), start, v))
+        while heap:
+            w, u, v = heapq.heappop(heap)
+            if visited[v]:
+                continue
+            visited[v] = True
+            out.add_edge(u, v, w)
+            for x in graph.neighbors(v):
+                if not visited[x]:
+                    heapq.heappush(heap, (graph.weight(v, x), v, x))
+    return out
+
+
+def euclidean_mst_edges(positions, candidate_edges=None) -> np.ndarray:
+    """Edge array of the Euclidean MST (forest) of a point set.
+
+    ``candidate_edges`` restricts the MST to a subgraph's edges (e.g. the
+    unit disk graph); by default the complete graph is used. Returns an
+    ``(m, 2)`` canonical int64 array.
+    """
+    from repro.geometry.points import distance_matrix
+    from repro.utils import check_positions
+
+    pos = check_positions(positions)
+    n = pos.shape[0]
+    if candidate_edges is None:
+        ii, jj = np.triu_indices(n, k=1)
+        cand = np.stack([ii, jj], axis=1)
+    else:
+        cand = np.asarray(candidate_edges, dtype=np.int64)
+        if cand.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+    d = pos[cand[:, 0]] - pos[cand[:, 1]]
+    lengths = np.hypot(d[:, 0], d[:, 1])
+    order = np.argsort(lengths, kind="stable")
+    ds = DisjointSet(n)
+    rows = []
+    for k in order:
+        u, v = int(cand[k, 0]), int(cand[k, 1])
+        if ds.union(u, v):
+            rows.append((min(u, v), max(u, v)))
+            if ds.n_components == 1:
+                break
+    if not rows:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.array(sorted(rows), dtype=np.int64)

@@ -1,0 +1,69 @@
+"""Shortest paths: Dijkstra (weighted) and BFS hop counts."""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.graphs.core import Graph
+
+
+def dijkstra(graph: Graph, source: int) -> tuple[np.ndarray, np.ndarray]:
+    """Single-source shortest paths with non-negative weights.
+
+    Returns ``(dist, parent)``: float64 distances (``inf`` when unreachable)
+    and int64 predecessor indices (``-1`` for the source and unreachable
+    nodes).
+    """
+    if not (0 <= source < graph.n):
+        raise ValueError("source out of range")
+    dist = np.full(graph.n, math.inf)
+    parent = np.full(graph.n, -1, dtype=np.int64)
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    done = [False] * graph.n
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for v in graph.neighbors(u):
+            w = graph.weight(u, v)
+            if w < 0:
+                raise ValueError("dijkstra requires non-negative weights")
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, parent
+
+
+def hop_distances(graph: Graph, source: int) -> np.ndarray:
+    """BFS hop counts from ``source``; ``-1`` when unreachable (int64)."""
+    if not (0 <= source < graph.n):
+        raise ValueError("source out of range")
+    dist = np.full(graph.n, -1, dtype=np.int64)
+    dist[source] = 0
+    q = deque([source])
+    while q:
+        u = q.popleft()
+        for v in graph.neighbors(u):
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                q.append(v)
+    return dist
+
+
+def extract_path(parent: np.ndarray, target: int) -> list[int]:
+    """Reconstruct the path to ``target`` from a Dijkstra parent array."""
+    if parent[target] < 0:
+        return [int(target)]
+    path = [int(target)]
+    while parent[path[-1]] >= 0:
+        path.append(int(parent[path[-1]]))
+    path.reverse()
+    return path

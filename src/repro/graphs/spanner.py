@@ -1,0 +1,70 @@
+"""Spanner quality measures: Euclidean and graph stretch factors."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graphs.core import Graph
+from repro.graphs.paths import dijkstra
+
+
+def _weighted_copy(graph: Graph, positions) -> Graph:
+    from repro.utils import check_positions
+
+    pos = check_positions(positions)
+    g = Graph(graph.n)
+    for u, v in graph.edges():
+        d = math.hypot(*(pos[u] - pos[v]))
+        g.add_edge(u, v, d)
+    return g
+
+
+def euclidean_stretch(graph: Graph, positions) -> float:
+    """Maximum ratio of graph distance to straight-line distance over pairs.
+
+    The graph is re-weighted with Euclidean edge lengths. Pairs in different
+    components yield ``inf``. Coincident points are skipped. O(n * (m log n)).
+    """
+    g = _weighted_copy(graph, positions)
+    from repro.utils import check_positions
+
+    pos = check_positions(positions)
+    worst = 1.0
+    for s in range(g.n):
+        dist, _ = dijkstra(g, s)
+        d = pos - pos[s]
+        euclid = np.hypot(d[:, 0], d[:, 1])
+        for t in range(s + 1, g.n):
+            if euclid[t] == 0.0:
+                continue
+            ratio = dist[t] / euclid[t]
+            if ratio > worst:
+                worst = float(ratio)
+    return worst
+
+
+def graph_stretch(subgraph: Graph, reference: Graph, positions) -> float:
+    """Max ratio of Euclidean shortest-path length in ``subgraph`` vs ``reference``.
+
+    Both graphs are re-weighted with Euclidean edge lengths; this is the
+    classic spanner ratio of a topology-control output against its input
+    UDG. Returns ``inf`` if ``subgraph`` disconnects a reference-connected
+    pair.
+    """
+    if subgraph.n != reference.n:
+        raise ValueError("graphs must share the node set")
+    gs = _weighted_copy(subgraph, positions)
+    gr = _weighted_copy(reference, positions)
+    worst = 1.0
+    for s in range(gs.n):
+        ds, _ = dijkstra(gs, s)
+        dr, _ = dijkstra(gr, s)
+        for t in range(s + 1, gs.n):
+            if not math.isfinite(dr[t]) or dr[t] == 0.0:
+                continue
+            ratio = ds[t] / dr[t]
+            if ratio > worst:
+                worst = float(ratio)
+    return worst

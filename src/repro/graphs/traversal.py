@@ -1,0 +1,56 @@
+"""Breadth-first traversal, connectivity and components."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.core import Graph
+
+
+def bfs_order(graph: Graph, source: int) -> list[int]:
+    """Nodes reachable from ``source`` in BFS visitation order."""
+    if not (0 <= source < graph.n):
+        raise ValueError(f"source {source} out of range")
+    seen = [False] * graph.n
+    seen[source] = True
+    order = [source]
+    q = deque([source])
+    while q:
+        u = q.popleft()
+        for v in sorted(graph.neighbors(u)):
+            if not seen[v]:
+                seen[v] = True
+                order.append(v)
+                q.append(v)
+    return order
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """List of components, each a sorted node list; components sorted by min node."""
+    seen = [False] * graph.n
+    comps: list[list[int]] = []
+    for s in range(graph.n):
+        if seen[s]:
+            continue
+        comp = []
+        q = deque([s])
+        seen[s] = True
+        while q:
+            u = q.popleft()
+            comp.append(u)
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    q.append(v)
+        comps.append(sorted(comp))
+    return comps
+
+
+def is_connected(graph: Graph) -> bool:
+    """True iff the graph has at most one connected component.
+
+    The empty graph and single-node graph count as connected.
+    """
+    if graph.n <= 1:
+        return True
+    return len(bfs_order(graph, 0)) == graph.n

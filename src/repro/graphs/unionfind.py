@@ -1,0 +1,57 @@
+"""Disjoint-set (union-find) with path compression and union by size."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DisjointSet:
+    """Union-find over elements ``0 .. n-1``.
+
+    Amortised near-O(1) ``find``/``union``; tracks the live component count
+    so connectivity checks are O(1).
+    """
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self._parent = np.arange(n, dtype=np.int64)
+        self._size = np.ones(n, dtype=np.int64)
+        self.n_components = n
+
+    def __len__(self) -> int:
+        return self._parent.shape[0]
+
+    def find(self, x: int) -> int:
+        """Canonical representative of ``x``'s component."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        # path compression
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self.n_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """True iff ``a`` and ``b`` are in the same component."""
+        return self.find(a) == self.find(b)
+
+    def component_sizes(self) -> dict[int, int]:
+        """Map root -> component size for all live components."""
+        out: dict[int, int] = {}
+        for x in range(len(self)):
+            out[self.find(x)] = out.get(self.find(x), 0) + 1
+        return out

@@ -1,0 +1,27 @@
+"""Section 5 — the highway model (nodes on a line) and the paper's algorithms."""
+
+from repro.highway.linear import linear_chain
+from repro.highway.hubs import hub_indices, is_hub
+from repro.highway.critical import critical_set, gamma
+from repro.highway.bounds import (
+    aexp_interference_bound,
+    exp_chain_lower_bound,
+    optimal_lower_bound_from_gamma,
+)
+from repro.highway.a_exp import a_exp
+from repro.highway.a_gen import a_gen
+from repro.highway.a_apx import a_apx
+
+__all__ = [
+    "linear_chain",
+    "hub_indices",
+    "is_hub",
+    "critical_set",
+    "gamma",
+    "a_exp",
+    "a_gen",
+    "a_apx",
+    "exp_chain_lower_bound",
+    "aexp_interference_bound",
+    "optimal_lower_bound_from_gamma",
+]

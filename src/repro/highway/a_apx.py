@@ -1,0 +1,62 @@
+"""Algorithm A_apx (Section 5.3) — O(Delta^(1/4)) approximation.
+
+A_gen is a worst-case algorithm: on a uniformly spaced highway it still
+builds sqrt(Delta)-degree hubs although the linear chain would give O(1)
+interference. A_apx detects which regime it is in via
+``gamma = I(G_lin)`` (the maximum critical-set size, Definition 5.2):
+
+- if ``gamma > sqrt(Delta)`` the instance is inherently hard — run A_gen
+  (interference O(sqrt(Delta)), optimum Omega(sqrt(gamma)) by Lemma 5.5);
+- else connect linearly (interference gamma, optimum Omega(sqrt(gamma))).
+
+Either way the ratio is O(Delta^(1/4)) (Theorem 5.6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.highway.a_gen import a_gen
+from repro.highway.critical import gamma_of_chain
+from repro.highway.linear import linear_chain
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+from repro.utils import check_positions
+
+
+@dataclass(frozen=True)
+class ApxInfo:
+    """Diagnostics of an A_apx run."""
+
+    gamma: int
+    delta: int
+    #: which branch was taken: "a_gen" or "linear"
+    branch: str
+    #: Lemma 5.5 certified lower bound on the optimal interference
+    lower_bound: float
+
+
+def a_apx(
+    positions, *, unit: float = 1.0, return_info: bool = False
+) -> Topology | tuple[Topology, ApxInfo]:
+    """Run A_apx; with ``return_info=True`` also return branch diagnostics."""
+    pos = check_positions(positions)
+    chain = linear_chain(pos, unit=unit)
+    g = gamma_of_chain(chain)
+    delta = unit_disk_graph(pos, unit=unit).max_degree()
+    if g > math.sqrt(delta):
+        topo = a_gen(pos, unit=unit, delta=delta)
+        branch = "a_gen"
+    else:
+        topo = chain
+        branch = "linear"
+    if not return_info:
+        return topo
+    info = ApxInfo(
+        gamma=g,
+        delta=delta,
+        branch=branch,
+        lower_bound=math.sqrt(g / 2.0),
+    )
+    return topo, info

@@ -1,0 +1,40 @@
+"""Closed-form bounds from Section 5.
+
+- Theorem 5.1: A_exp on the exponential chain reaches interference ``I``
+  only after ``n = I^2/2 - I/2 + 2`` nodes, so
+  ``I(G_exp) <= (1 + sqrt(8 n - 15)) / 2 = O(sqrt(n))``.
+- Theorem 5.2: every connected topology on the exponential chain has
+  interference at least ``sqrt(n)``.
+- Lemma 5.5: the optimum for any highway instance is ``Omega(sqrt(gamma))``
+  — at least half the critical nodes of the worst victim lie on one side
+  and form a virtual exponential chain, so Theorem 5.2 applies to
+  ``gamma / 2`` of them.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def exp_chain_lower_bound(n: int) -> float:
+    """Theorem 5.2: ``sqrt(n)`` lower-bounds I(G) on the exponential chain."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return math.sqrt(n)
+
+
+def aexp_interference_bound(n: int) -> float:
+    """Theorem 5.1: upper bound on A_exp's interference, from
+    ``n >= I^2/2 - I/2 + 2`` solved for ``I``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n < 2:
+        return 0.0
+    return (1.0 + math.sqrt(max(8.0 * n - 15.0, 0.0))) / 2.0
+
+
+def optimal_lower_bound_from_gamma(gamma: int) -> float:
+    """Lemma 5.5: any connected topology has ``I >= sqrt(gamma / 2)``."""
+    if gamma < 0:
+        raise ValueError("gamma must be >= 0")
+    return math.sqrt(gamma / 2.0)

@@ -1,0 +1,33 @@
+"""Hubs (Definition 5.1).
+
+In a 1-D topology, a node is a *hub* iff it maintains an edge to some node
+to its right; on the exponential chain only hubs can interfere with the
+leftmost node, which is why the algorithms of Section 5 ration them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.topology import Topology
+
+
+def is_hub(topology: Topology, v: int) -> bool:
+    """True iff ``v`` has a neighbour with strictly larger x coordinate."""
+    x = topology.positions[:, 0]
+    return any(x[w] > x[v] for w in topology.neighbors(v))
+
+
+def hub_indices(topology: Topology) -> np.ndarray:
+    """Sorted int64 array of all hub nodes (Definition 5.1)."""
+    x = topology.positions[:, 0]
+    hubs = []
+    for u, v in topology.edges:
+        # the endpoint with the smaller x maintains an edge to its right
+        if x[u] < x[v]:
+            hubs.append(int(u))
+        elif x[v] < x[u]:
+            hubs.append(int(v))
+        else:  # equal x: both point "rightwards" degenerately; count both
+            hubs.extend((int(u), int(v)))
+    return np.unique(np.array(hubs, dtype=np.int64))

@@ -1,0 +1,39 @@
+"""The linearly connected highway topology ``G_lin``.
+
+Every node (except the extremes) keeps an edge to its nearest neighbour to
+the left and to the right — the baseline 1-D topology whose interference
+defines the criterion gamma of Algorithm A_apx, and which is the *optimal*
+choice on uniformly spaced instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.topology import Topology
+from repro.utils import check_positions
+
+
+def highway_order(positions) -> np.ndarray:
+    """Node indices sorted by x (ties by y, then index) — highway order."""
+    pos = check_positions(positions)
+    return np.lexsort((np.arange(pos.shape[0]), pos[:, 1], pos[:, 0]))
+
+
+def linear_chain(positions, *, unit: float | None = None) -> Topology:
+    """Connect consecutive nodes in highway order.
+
+    With ``unit`` given, edges longer than ``unit`` are omitted (keeping the
+    result a valid UDG subgraph; the chain then splits exactly at the UDG's
+    component boundaries).
+    """
+    pos = check_positions(positions)
+    order = highway_order(pos)
+    rows = []
+    for a, b in zip(order, order[1:]):
+        if unit is not None:
+            d = float(np.hypot(*(pos[a] - pos[b])))
+            if d > unit * (1.0 + 1e-12):
+                continue
+        rows.append((int(min(a, b)), int(max(a, b))))
+    return Topology(pos, np.array(rows, dtype=np.int64).reshape(-1, 2))

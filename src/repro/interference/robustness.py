@@ -1,0 +1,126 @@
+"""Robustness of interference measures under node addition/removal (Fig. 1).
+
+The paper's second argument for the receiver-centric measure: one added
+node is one added packet source, so it should raise interference at existing
+nodes by at most its own disk (+1) — plus whatever the topology adaptation
+(attachment nodes growing their radii) contributes. The sender-centric
+measure has no such bound: a single long attachment edge can cover the whole
+network and jump the measure from O(1) to n.
+
+:func:`addition_report` quantifies both effects for one insertion, splitting
+the receiver-centric delta into the new node's own-disk contribution
+(provably <= 1 per victim) and the radius-growth contribution of the
+attachment nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.interference.receiver import ATOL, RTOL, node_interference
+from repro.interference.sender import sender_interference
+from repro.model.topology import Topology
+
+
+@dataclass(frozen=True)
+class AdditionReport:
+    """Effect of inserting one node into an existing topology.
+
+    All per-node arrays are over the *existing* nodes (length ``n`` of the
+    original topology), so before/after values are directly comparable.
+    """
+
+    before: Topology
+    after: Topology
+    #: receiver-centric I(v) on existing nodes, before insertion
+    receiver_before: np.ndarray
+    #: receiver-centric I(v) on existing nodes, after insertion
+    receiver_after: np.ndarray
+    #: 0/1 per existing node: covered by the new node's disk
+    new_node_contribution: np.ndarray
+    #: per existing node: extra coverage due to attachment radii growing
+    radius_growth_contribution: np.ndarray
+    sender_before: float
+    sender_after: float
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def receiver_delta(self) -> np.ndarray:
+        return self.receiver_after - self.receiver_before
+
+    @property
+    def max_receiver_delta(self) -> int:
+        return int(self.receiver_delta.max()) if self.receiver_delta.size else 0
+
+    @property
+    def sender_delta(self) -> float:
+        return self.sender_after - self.sender_before
+
+
+def addition_report(
+    topology: Topology,
+    new_position,
+    attach_to,
+    *,
+    rtol: float = RTOL,
+    atol: float = ATOL,
+) -> AdditionReport:
+    """Insert one node, connect it to ``attach_to``, report both measures."""
+    after = topology.add_node(new_position, attach_to)
+    n = topology.n
+    rec_before = node_interference(topology, rtol=rtol, atol=atol)
+    rec_after_full = node_interference(after, rtol=rtol, atol=atol)
+    rec_after = rec_after_full[:n]
+
+    pos = after.positions
+    new_r = after.radii[n]
+    d_new = np.hypot(*(pos[:n] - pos[n]).T)
+    new_contrib = (d_new <= new_r * (1.0 + rtol) + atol).astype(np.int64)
+
+    growth = np.zeros(n, dtype=np.int64)
+    r_old = topology.radii
+    r_new = after.radii[:n]
+    for u in np.nonzero(r_new > r_old)[0]:
+        d_u = np.hypot(*(pos[:n] - pos[u]).T)
+        was = d_u <= r_old[u] * (1.0 + rtol) + atol
+        now = d_u <= r_new[u] * (1.0 + rtol) + atol
+        newly = now & ~was
+        newly[u] = False
+        growth += newly.astype(np.int64)
+
+    return AdditionReport(
+        before=topology,
+        after=after,
+        receiver_before=rec_before,
+        receiver_after=rec_after,
+        new_node_contribution=new_contrib,
+        radius_growth_contribution=growth,
+        sender_before=sender_interference(topology, rtol=rtol, atol=atol),
+        sender_after=sender_interference(after, rtol=rtol, atol=atol),
+        meta={"attach_to": list(map(int, attach_to))},
+    )
+
+
+def removal_report(
+    topology: Topology, index: int, *, rtol: float = RTOL, atol: float = ATOL
+) -> dict:
+    """Remove a node; report interference of survivors under both measures.
+
+    Note that removal may disconnect the topology — the report includes a
+    ``connected_after`` flag so callers can decide whether to repair.
+    Survivor arrays are indexed in the *new* (compacted) numbering.
+    """
+    after = topology.remove_node(index)
+    before_vec = node_interference(topology, rtol=rtol, atol=atol)
+    keep = np.ones(topology.n, dtype=bool)
+    keep[index] = False
+    return {
+        "receiver_before": before_vec[keep],
+        "receiver_after": node_interference(after, rtol=rtol, atol=atol),
+        "sender_before": sender_interference(topology, rtol=rtol, atol=atol),
+        "sender_after": sender_interference(after, rtol=rtol, atol=atol),
+        "connected_after": after.is_connected(),
+        "after": after,
+    }

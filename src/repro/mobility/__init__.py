@@ -1,0 +1,14 @@
+"""Node mobility: trajectories and topology maintenance over time.
+
+Ad-hoc networks are mobile (Section 1); the robustness argument for the
+receiver-centric measure is ultimately about how the *measured quantity*
+behaves while the node set and positions drift. This package provides a
+random-waypoint mobility model and helpers that re-run a topology-control
+algorithm along a trajectory, reporting interference stability and
+topology churn.
+"""
+
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.mobility.timeline import TopologyTimeline, edge_churn
+
+__all__ = ["RandomWaypointModel", "TopologyTimeline", "edge_churn"]

@@ -1,0 +1,109 @@
+"""Random waypoint mobility.
+
+Each node independently picks a uniform destination in the arena, moves
+toward it at a speed drawn from ``[v_min, v_max]``, pauses, and repeats —
+the standard ad-hoc-network mobility benchmark. Positions are sampled at
+fixed time steps via :meth:`RandomWaypointModel.positions_at` /
+:meth:`~RandomWaypointModel.trajectory`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import as_generator
+
+
+class RandomWaypointModel:
+    """Random waypoint trajectories for ``n`` nodes in a square arena.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    side:
+        Arena side length (positions stay inside ``[0, side]^2``).
+    v_min, v_max:
+        Speed range (distance per unit time); ``v_min > 0`` avoids the
+        well-known speed-decay degeneracy of the model.
+    pause:
+        Pause time at each waypoint.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        side: float = 10.0,
+        v_min: float = 0.05,
+        v_max: float = 0.2,
+        pause: float = 0.0,
+        seed=None,
+    ):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if side <= 0:
+            raise ValueError("side must be positive")
+        if not 0 < v_min <= v_max:
+            raise ValueError("need 0 < v_min <= v_max")
+        if pause < 0:
+            raise ValueError("pause must be non-negative")
+        self.n = int(n)
+        self.side = float(side)
+        self.v_min = float(v_min)
+        self.v_max = float(v_max)
+        self.pause = float(pause)
+        self.rng = as_generator(seed)
+        self.time = 0.0
+        self._pos = self.rng.uniform(0.0, side, size=(n, 2))
+        self._dest = self.rng.uniform(0.0, side, size=(n, 2))
+        self._speed = self.rng.uniform(v_min, v_max, size=n)
+        self._pause_left = np.zeros(n)
+
+    def step(self, dt: float) -> np.ndarray:
+        """Advance all nodes by ``dt``; returns the new positions (a copy)."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        remaining = np.full(self.n, float(dt))
+        while np.any(remaining > 1e-12):
+            for u in np.nonzero(remaining > 1e-12)[0]:
+                t = remaining[u]
+                if self._pause_left[u] > 0:
+                    used = min(t, self._pause_left[u])
+                    self._pause_left[u] -= used
+                    remaining[u] -= used
+                    if self._pause_left[u] <= 0:
+                        self._new_leg(u)
+                    continue
+                vec = self._dest[u] - self._pos[u]
+                dist = float(np.hypot(*vec))
+                travel = self._speed[u] * t
+                if travel >= dist:
+                    self._pos[u] = self._dest[u]
+                    time_used = dist / self._speed[u] if self._speed[u] > 0 else t
+                    remaining[u] -= time_used
+                    self._pause_left[u] = self.pause
+                    if self.pause == 0:
+                        self._new_leg(u)
+                else:
+                    self._pos[u] += vec / dist * travel
+                    remaining[u] = 0.0
+        self.time += dt
+        return self._pos.copy()
+
+    def _new_leg(self, u: int) -> None:
+        self._dest[u] = self.rng.uniform(0.0, self.side, size=2)
+        self._speed[u] = self.rng.uniform(self.v_min, self.v_max)
+
+    def positions_at(self) -> np.ndarray:
+        """Current positions (a copy)."""
+        return self._pos.copy()
+
+    def trajectory(self, n_steps: int, dt: float) -> np.ndarray:
+        """``(n_steps + 1, n, 2)`` positions sampled every ``dt`` (includes t=0)."""
+        if n_steps < 0:
+            raise ValueError("n_steps must be >= 0")
+        frames = [self.positions_at()]
+        for _ in range(n_steps):
+            frames.append(self.step(dt))
+        return np.stack(frames)

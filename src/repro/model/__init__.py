@@ -1,0 +1,13 @@
+"""Network model: unit disk graphs, topologies with derived radii, energy."""
+
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph, udg_max_degree
+from repro.model.energy import max_transmit_radius, total_transmit_energy
+
+__all__ = [
+    "Topology",
+    "unit_disk_graph",
+    "udg_max_degree",
+    "total_transmit_energy",
+    "max_transmit_radius",
+]

@@ -1,0 +1,27 @@
+"""Transmission-energy cost models for a topology.
+
+The standard path-loss model charges a node with radius ``r`` a transmit
+power proportional to ``r**alpha`` with ``alpha`` in [2, 6] (free space 2,
+typical outdoor 3-4). These are the quantities topology control trades
+against interference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.topology import Topology
+
+
+def total_transmit_energy(topology: Topology, *, alpha: float = 2.0) -> float:
+    """Sum over nodes of ``r_u ** alpha`` (total network transmit power)."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    return float(np.sum(topology.radii**alpha))
+
+
+def max_transmit_radius(topology: Topology) -> float:
+    """Largest per-node radius (max transmit power level in the network)."""
+    if topology.n == 0:
+        return 0.0
+    return float(topology.radii.max())

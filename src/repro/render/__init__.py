@@ -1,0 +1,5 @@
+"""ASCII rendering of topologies (figure reproduction without matplotlib)."""
+
+from repro.render.ascii_art import render_highway_arcs, render_scatter
+
+__all__ = ["render_highway_arcs", "render_scatter"]

@@ -1,0 +1,111 @@
+"""ASCII arc diagrams and scatter plots.
+
+:func:`render_highway_arcs` reproduces the style of the paper's Figure 8:
+1-D nodes on a (log-scaled, if requested) axis with edges drawn as arcs
+above, hubs marked hollow, and per-node interference printed underneath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.highway.hubs import hub_indices
+from repro.highway.linear import highway_order
+from repro.interference.receiver import node_interference
+from repro.model.topology import Topology
+
+
+def render_highway_arcs(
+    topology: Topology, *, width: int = 100, log_scale: bool = True
+) -> str:
+    """Arc diagram of a 1-D topology (Figure 8 style).
+
+    Nodes are marked ``o`` (``O`` for hubs, Definition 5.1); each edge is an
+    arc of ``.`` with its span underlined; the bottom row shows each node's
+    receiver-centric interference (mod 10, for alignment).
+    """
+    if topology.n == 0:
+        return "(empty topology)"
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    order = highway_order(topology.positions)
+    x = topology.positions[order, 0]
+    if log_scale:
+        gaps = np.diff(x)
+        pos1d = np.zeros(len(x))
+        tiny = gaps[gaps > 0].min() if np.any(gaps > 0) else 1.0
+        pos1d[1:] = np.cumsum(np.log2(1.0 + gaps / tiny))
+    else:
+        pos1d = x - x[0]
+    span = pos1d[-1] if pos1d[-1] > 0 else 1.0
+    cols = np.round(pos1d / span * (width - 1)).astype(int)
+    # nudge collisions apart where possible
+    for i in range(1, len(cols)):
+        if cols[i] <= cols[i - 1]:
+            cols[i] = min(cols[i - 1] + 1, width - 1)
+
+    col_of = {int(order[i]): int(cols[i]) for i in range(len(order))}
+    arcs = sorted(
+        (min(col_of[u], col_of[v]), max(col_of[u], col_of[v]))
+        for u, v in topology.edges
+    )
+    # assign each arc a row so that overlapping arcs stack
+    rows: list[list[tuple[int, int]]] = []
+    for a, b in sorted(arcs, key=lambda ab: ab[1] - ab[0]):
+        placed = False
+        for row in rows:
+            if all(b < c or a > d for c, d in row):
+                row.append((a, b))
+                placed = True
+                break
+        if not placed:
+            rows.append([(a, b)])
+
+    canvas = []
+    for row in reversed(rows):
+        line = [" "] * width
+        for a, b in row:
+            line[a] = "/"
+            line[b] = "\\"
+            for c in range(a + 1, b):
+                line[c] = "_"
+        canvas.append("".join(line))
+
+    hubs = set(map(int, hub_indices(topology)))
+    node_line = [" "] * width
+    for i, node in enumerate(order):
+        node_line[cols[i]] = "O" if int(node) in hubs else "o"
+    canvas.append("".join(node_line))
+
+    ivec = node_interference(topology)
+    int_line = [" "] * width
+    for i, node in enumerate(order):
+        int_line[cols[i]] = str(int(ivec[node]) % 10)
+    canvas.append("".join(int_line))
+    canvas.append(f"(bottom row: I(v) mod 10; hubs marked 'O'; I(G) = {ivec.max()})")
+    return "\n".join(canvas)
+
+
+def render_scatter(topology: Topology, *, width: int = 60, height: int = 24) -> str:
+    """Coarse ASCII scatter of a 2-D topology: nodes ``o``, edge midpoints ``.``."""
+    if topology.n == 0:
+        return "(empty topology)"
+    pos = topology.positions
+    mins = pos.min(axis=0)
+    spans = np.maximum(pos.max(axis=0) - mins, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(p):
+        cx = int(round((p[0] - mins[0]) / spans[0] * (width - 1)))
+        cy = int(round((p[1] - mins[1]) / spans[1] * (height - 1)))
+        return height - 1 - cy, cx
+
+    for u, v in topology.edges:
+        for t in np.linspace(0.15, 0.85, 8):
+            r, c = cell(pos[u] * (1 - t) + pos[v] * t)
+            if grid[r][c] == " ":
+                grid[r][c] = "."
+    for p in pos:
+        r, c = cell(p)
+        grid[r][c] = "o"
+    return "\n".join("".join(row) for row in grid)

@@ -1,0 +1,45 @@
+"""Simulation metrics and their link to the static interference measure."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.interference.receiver import node_interference
+from repro.model.topology import Topology
+
+
+def transmit_energy(topology: Topology, attempts, *, alpha: float = 2.0) -> float:
+    """Total radiated energy: each attempt by ``u`` costs ``r_u ** alpha``."""
+    attempts = np.asarray(attempts, dtype=np.float64)
+    if attempts.shape != (topology.n,):
+        raise ValueError("attempts must have one entry per node")
+    if np.any(attempts < 0):
+        raise ValueError("attempts must be non-negative")
+    return float(np.sum(attempts * topology.radii**alpha))
+
+
+def collision_interference_correlation(
+    topology: Topology, collision_rate, *, method: str = "spearman"
+) -> tuple[float, float]:
+    """Correlation between static ``I(v)`` and observed collision rates.
+
+    NaN collision entries (nodes never addressed) are dropped. Returns
+    ``(correlation, p_value)``. Degenerate inputs (constant vectors or
+    fewer than 3 valid points) return ``(nan, nan)``.
+    """
+    if method not in ("spearman", "pearson"):
+        raise ValueError(f"unknown method {method!r}")
+    rates = np.asarray(collision_rate, dtype=np.float64)
+    if rates.shape != (topology.n,):
+        raise ValueError("collision_rate must have one entry per node")
+    ivec = node_interference(topology).astype(np.float64)
+    valid = ~np.isnan(rates)
+    x, y = ivec[valid], rates[valid]
+    if x.size < 3 or np.ptp(x) == 0 or np.ptp(y) == 0:
+        return (float("nan"), float("nan"))
+    if method == "spearman":
+        r, p = stats.spearmanr(x, y)
+    else:
+        r, p = stats.pearsonr(x, y)
+    return float(r), float(p)

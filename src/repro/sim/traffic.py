@@ -1,0 +1,51 @@
+"""Traffic sources and data-gathering workload helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.paths import dijkstra
+from repro.model.topology import Topology
+from repro.utils import as_generator
+
+
+class BernoulliSource:
+    """Per-slot Bernoulli packet source (probability ``p`` per slot)."""
+
+    def __init__(self, p: float, *, seed=None):
+        if not 0 <= p <= 1:
+            raise ValueError("p must lie in [0, 1]")
+        self.p = float(p)
+        self.rng = as_generator(seed)
+
+    def draw(self, n: int) -> np.ndarray:
+        """Boolean vector: which of ``n`` nodes source a packet this slot."""
+        return self.rng.random(n) < self.p
+
+
+class PoissonArrivals:
+    """Exponential inter-arrival sampler for the event-driven simulator."""
+
+    def __init__(self, rate: float, *, seed=None):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.rng = as_generator(seed)
+
+    def next_gap(self) -> float:
+        return float(self.rng.exponential(1.0 / self.rate))
+
+
+def gather_tree(topology: Topology, sink: int) -> np.ndarray:
+    """Shortest-path (Euclidean) routing tree toward ``sink``.
+
+    Returns int64 ``parent`` with ``parent[sink] = -1``; unreachable nodes
+    also get ``-1`` (callers should check connectivity first). This is the
+    data-gathering structure of the sensor-network setting [4] from which
+    the paper's interference notion originates.
+    """
+    if not (0 <= sink < topology.n):
+        raise ValueError("sink out of range")
+    g = topology.as_graph(weighted=True)
+    _, parent = dijkstra(g, sink)
+    return parent

@@ -1,0 +1,47 @@
+"""Classical topology-control algorithms (the baselines of Section 4).
+
+Every algorithm takes the unit disk graph as a :class:`repro.model.Topology`
+and returns a subtopology. All of them (except LIFE/LISE) contain the
+Nearest Neighbor Forest, which by Theorem 4.1 dooms them to Omega(n)
+receiver-centric interference on the two-exponential-chains instance.
+"""
+
+from repro.topologies.base import ALGORITHMS, build
+from repro.topologies.nnf import nearest_neighbor_forest
+from repro.topologies.emst import euclidean_mst
+from repro.topologies.gabriel import gabriel_graph
+from repro.topologies.rng import relative_neighborhood_graph
+from repro.topologies.yao import yao_graph
+from repro.topologies.xtc import xtc
+from repro.topologies.lmst import lmst
+from repro.topologies.cbtc import cbtc
+from repro.topologies.delaunay import delaunay_topology
+from repro.topologies.knn import knn_topology
+from repro.topologies.life import life, lise
+from repro.topologies.greedy_spanner import greedy_spanner
+from repro.topologies.constructions import (
+    fig2_sample_topology,
+    fig1_star_with_remote,
+    two_chains_optimal_tree,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "build",
+    "nearest_neighbor_forest",
+    "euclidean_mst",
+    "gabriel_graph",
+    "relative_neighborhood_graph",
+    "yao_graph",
+    "xtc",
+    "lmst",
+    "cbtc",
+    "delaunay_topology",
+    "knn_topology",
+    "life",
+    "lise",
+    "greedy_spanner",
+    "fig2_sample_topology",
+    "fig1_star_with_remote",
+    "two_chains_optimal_tree",
+]

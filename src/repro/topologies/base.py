@@ -1,0 +1,41 @@
+"""Registry of topology-control algorithms.
+
+Each registered algorithm maps the input unit disk graph
+(:class:`repro.model.Topology`) to an output subtopology with the same node
+set. The registry gives the survey experiment and CLI a uniform way to
+enumerate baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.model.topology import Topology
+
+AlgorithmFn = Callable[[Topology], Topology]
+
+#: name -> default-configured algorithm
+ALGORITHMS: dict[str, AlgorithmFn] = {}
+
+
+def register(name: str):
+    """Decorator registering a default-configured algorithm under ``name``."""
+
+    def deco(fn: AlgorithmFn) -> AlgorithmFn:
+        if name in ALGORITHMS:
+            raise ValueError(f"algorithm {name!r} already registered")
+        ALGORITHMS[name] = fn
+        return fn
+
+    return deco
+
+
+def build(name: str, udg: Topology, **kwargs) -> Topology:
+    """Run registered algorithm ``name`` on ``udg``."""
+    try:
+        fn = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}"
+        ) from None
+    return fn(udg, **kwargs)

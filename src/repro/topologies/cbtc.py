@@ -1,0 +1,60 @@
+"""CBTC — cone-based topology control (Wattenhofer, Li, Bahl & Wang [18]).
+
+Each node grows its transmission radius through its sorted UDG neighbour
+distances until every cone of angle ``alpha`` around it contains a reached
+neighbour (or all neighbours are reached). The kept directed edges are the
+reached neighbours; the undirected output takes the symmetric closure
+(union), which for ``alpha <= 2*pi/3`` preserves connectivity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+def _gaps_covered(angles: np.ndarray, alpha: float) -> bool:
+    """True iff every (closed) cone of angle ``alpha`` contains a direction.
+
+    Equivalent to: the maximum circular gap between consecutive directions
+    is at most ``alpha`` — in particular a single neighbour suffices for
+    ``alpha = 2*pi``.
+    """
+    if angles.size == 0:
+        return False
+    s = np.sort(angles)
+    gaps = np.diff(s, append=s[0] + 2.0 * math.pi)
+    return bool(gaps.max() <= alpha + 1e-12)
+
+
+def cbtc(udg: Topology, *, alpha: float = 2.0 * math.pi / 3.0) -> Topology:
+    if not 0 < alpha <= 2.0 * math.pi:
+        raise ValueError("alpha must lie in (0, 2*pi]")
+    pos = udg.positions
+    rows: set[tuple[int, int]] = set()
+    for u in range(udg.n):
+        nbrs = np.array(sorted(udg.neighbors(u)), dtype=np.int64)
+        if nbrs.size == 0:
+            continue
+        d = pos[nbrs] - pos[u]
+        dist = np.hypot(d[:, 0], d[:, 1])
+        ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), 2.0 * math.pi)
+        order = np.argsort(dist, kind="stable")
+        reached: list[int] = []
+        for idx in order:
+            reached.append(int(idx))
+            if _gaps_covered(ang[reached], alpha):
+                break
+        for idx in reached:
+            v = int(nbrs[idx])
+            rows.add((min(u, v), max(u, v)))
+    return Topology(pos, np.array(sorted(rows), dtype=np.int64).reshape(-1, 2))
+
+
+@register("cbtc")
+def _cbtc_default(udg: Topology) -> Topology:
+    return cbtc(udg)

@@ -1,0 +1,50 @@
+"""Delaunay triangulation intersected with the unit disk graph.
+
+Planar-structure baseline from first-generation topology control [10, 14].
+Degenerate (collinear) inputs — e.g. highway instances — have no 2-D
+triangulation; there the Delaunay graph of points on a line is exactly the
+path through the sorted order, which we build directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay, QhullError
+
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+def _collinear(pos: np.ndarray) -> bool:
+    if pos.shape[0] <= 2:
+        return True
+    centered = pos - pos.mean(axis=0)
+    return bool(np.linalg.matrix_rank(centered, tol=1e-12) < 2)
+
+
+@register("delaunay")
+def delaunay_topology(udg: Topology) -> Topology:
+    pos = udg.positions
+    n = udg.n
+    if n <= 1:
+        return Topology(pos, ())
+    if _collinear(pos):
+        # 1-D Delaunay = sorted path (ties in x broken by y)
+        order = np.lexsort((pos[:, 1], pos[:, 0]))
+        cand = {(int(min(a, b)), int(max(a, b))) for a, b in zip(order, order[1:])}
+    else:
+        try:
+            tri = Delaunay(pos)
+        except QhullError:
+            order = np.lexsort((pos[:, 1], pos[:, 0]))
+            cand = {
+                (int(min(a, b)), int(max(a, b))) for a, b in zip(order, order[1:])
+            }
+        else:
+            cand = set()
+            for simplex in tri.simplices:
+                for i in range(3):
+                    a, b = int(simplex[i]), int(simplex[(i + 1) % 3])
+                    cand.add((min(a, b), max(a, b)))
+    keep = [e for e in sorted(cand) if udg.has_edge(*e)]
+    return Topology(pos, np.array(keep, dtype=np.int64).reshape(-1, 2))

@@ -1,0 +1,20 @@
+"""Euclidean minimum spanning tree restricted to the unit disk graph.
+
+The EMST is the canonical connectivity-preserving, energy-frugal topology;
+it contains the Nearest Neighbor Forest (every nearest-neighbour edge is in
+every MST under unique weights), which makes it the paper's archetypal
+"good sparse topology that still fails on interference".
+"""
+
+from __future__ import annotations
+
+from repro.graphs.mst import euclidean_mst_edges
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+@register("emst")
+def euclidean_mst(udg: Topology) -> Topology:
+    """Spanning forest of ``udg`` with minimum total Euclidean length."""
+    edges = euclidean_mst_edges(udg.positions, candidate_edges=udg.edges)
+    return Topology(udg.positions, edges)

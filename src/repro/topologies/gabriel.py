@@ -1,0 +1,28 @@
+"""Gabriel graph restricted to the unit disk graph.
+
+Edge ``{u, v}`` survives iff the closed disk with diameter ``uv`` contains
+no third node — the classic planar structure used by geometric routing
+(GPSR [7]) and first-generation topology control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+@register("gabriel")
+def gabriel_graph(udg: Topology) -> Topology:
+    pos = udg.positions
+    keep = []
+    for u, v in udg.edges:
+        mid = (pos[u] + pos[v]) / 2.0
+        rad2 = float(np.sum((pos[u] - pos[v]) ** 2)) / 4.0
+        d2 = np.sum((pos - mid) ** 2, axis=1)
+        d2[u] = np.inf
+        d2[v] = np.inf
+        if not np.any(d2 <= rad2 * (1.0 + 1e-12)):
+            keep.append((u, v))
+    return Topology(pos, np.array(keep, dtype=np.int64).reshape(-1, 2))

@@ -1,0 +1,39 @@
+"""Classic greedy t-spanner (Althöfer et al.) restricted to the UDG.
+
+Edges are examined in increasing length; an edge is kept iff the current
+partial graph does not already connect its endpoints within ``t`` times
+its length. The result is a t-spanner with strong sparseness guarantees —
+the natural receiver-centric counterpart to LISE (which orders edges by
+sender-centric coverage instead): keeping *short* edges first directly
+keeps radii, and hence disks, small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.core import Graph
+from repro.graphs.paths import dijkstra
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+def greedy_spanner(udg: Topology, *, t: float = 2.0) -> Topology:
+    if t < 1:
+        raise ValueError("t must be >= 1")
+    order = np.argsort(udg.edge_lengths, kind="stable")
+    g = Graph(udg.n)
+    keep: list[tuple[int, int]] = []
+    for k in order:
+        u, v = map(int, udg.edges[k])
+        length = float(udg.edge_lengths[k])
+        dist, _ = dijkstra(g, u)
+        if dist[v] > t * length * (1.0 + 1e-12):
+            g.add_edge(u, v, length)
+            keep.append((u, v))
+    return Topology(udg.positions, np.array(keep, dtype=np.int64).reshape(-1, 2))
+
+
+@register("gspan2")
+def _greedy_spanner_2(udg: Topology) -> Topology:
+    return greedy_spanner(udg, t=2.0)

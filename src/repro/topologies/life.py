@@ -1,0 +1,76 @@
+"""LIFE and LISE — the explicit-interference algorithms of Burkhart et al. [2].
+
+These are the "notable exception" of Section 4: they minimise the
+*sender-centric* edge-coverage measure and do not necessarily contain the
+Nearest Neighbor Forest — yet the paper shows they, too, perform badly under
+the receiver-centric measure.
+
+- **LIFE** (Low-Interference Forest Establisher): Kruskal's algorithm over
+  UDG edges sorted by coverage — a spanning forest minimising the maximum
+  edge coverage among all connectivity-preserving subgraphs.
+- **LISE** (Low-Interference Spanner Establisher): insert edges in coverage
+  order until every UDG edge is ``t``-spanned, yielding a coverage-optimal
+  ``t``-spanner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.core import Graph
+from repro.graphs.paths import dijkstra
+from repro.graphs.unionfind import DisjointSet
+from repro.interference.sender import edge_coverage
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+def _coverage_order(udg: Topology) -> list[int]:
+    """Indices of UDG edges sorted by (coverage, length, edge) ascending."""
+    cov = edge_coverage(udg)
+    lengths = udg.edge_lengths
+    keys = sorted(
+        range(udg.n_edges),
+        key=lambda k: (int(cov[k]), float(lengths[k]), tuple(udg.edges[k])),
+    )
+    return keys
+
+
+@register("life")
+def life(udg: Topology) -> Topology:
+    """Coverage-minimal spanning forest (LIFE)."""
+    ds = DisjointSet(udg.n)
+    keep = []
+    for k in _coverage_order(udg):
+        u, v = map(int, udg.edges[k])
+        if ds.union(u, v):
+            keep.append((u, v))
+            if ds.n_components == 1:
+                break
+    return Topology(udg.positions, np.array(keep, dtype=np.int64).reshape(-1, 2))
+
+
+def lise(udg: Topology, *, t: float = 2.0) -> Topology:
+    """Coverage-minimal ``t``-spanner of the UDG (LISE).
+
+    Edges are examined in coverage order; an edge is inserted iff the
+    current partial topology does not yet connect its endpoints within
+    ``t`` times its Euclidean length.
+    """
+    if t < 1:
+        raise ValueError("t must be >= 1")
+    g = Graph(udg.n)
+    keep: list[tuple[int, int]] = []
+    lengths = udg.edge_lengths
+    for k in _coverage_order(udg):
+        u, v = map(int, udg.edges[k])
+        dist, _ = dijkstra(g, u)
+        if dist[v] > t * float(lengths[k]) * (1.0 + 1e-12):
+            g.add_edge(u, v, float(lengths[k]))
+            keep.append((u, v))
+    return Topology(udg.positions, np.array(keep, dtype=np.int64).reshape(-1, 2))
+
+
+@register("lise2")
+def _lise2(udg: Topology) -> Topology:
+    return lise(udg, t=2.0)

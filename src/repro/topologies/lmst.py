@@ -1,0 +1,43 @@
+"""LMST — local minimum spanning tree topology (Li, Hou & Sha [9]).
+
+Each node builds the MST of its closed one-hop UDG neighbourhood (with
+unique lexicographic weights) and nominates its incident MST edges. The
+symmetric output keeps an edge iff *both* endpoints nominate it; with
+unique weights this preserves connectivity and has degree at most 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.core import Graph
+from repro.graphs.mst import kruskal_mst
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+@register("lmst")
+def lmst(udg: Topology) -> Topology:
+    pos = udg.positions
+    nominated: set[tuple[int, int]] = set()
+    nominations: dict[int, set[tuple[int, int]]] = {u: set() for u in range(udg.n)}
+    for u in range(udg.n):
+        local = sorted(udg.neighbors(u) | {u})
+        index = {node: i for i, node in enumerate(local)}
+        g = Graph(len(local))
+        for i, a in enumerate(local):
+            for b in local[i + 1 :]:
+                if udg.has_edge(a, b):
+                    d = float(np.hypot(*(pos[a] - pos[b])))
+                    g.add_edge(index[a], index[b], d)
+        mst = kruskal_mst(g)
+        for i, j in mst.edges():
+            a, b = local[i], local[j]
+            if a == u or b == u:
+                nominations[u].add((min(a, b), max(a, b)))
+    for u in range(udg.n):
+        for e in nominations[u]:
+            other = e[0] if e[1] == u else e[1]
+            if e in nominations[other]:
+                nominated.add(e)
+    return Topology(pos, np.array(sorted(nominated), dtype=np.int64).reshape(-1, 2))

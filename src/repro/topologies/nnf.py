@@ -1,0 +1,37 @@
+"""Nearest Neighbor Forest — the common core of classical topology control.
+
+Every node with at least one UDG neighbour adds an (undirected) edge to its
+nearest neighbour, ties broken by smaller index so the construction is
+deterministic. The result is a forest; Section 4 shows that *containing*
+this forest already forces Omega(n) interference on adversarial instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+def nearest_neighbor_edges(udg: Topology) -> np.ndarray:
+    """Canonical ``(m, 2)`` edge array of each node's nearest-neighbour edge."""
+    rows = []
+    pos = udg.positions
+    for u in range(udg.n):
+        nbrs = sorted(udg.neighbors(u))
+        if not nbrs:
+            continue
+        nbrs = np.array(nbrs, dtype=np.int64)
+        d = np.hypot(*(pos[nbrs] - pos[u]).T)
+        v = int(nbrs[np.argmin(d)])  # argmin takes first -> smallest index tie-break
+        rows.append((min(u, v), max(u, v)))
+    if not rows:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.array(sorted(set(rows)), dtype=np.int64)
+
+
+@register("nnf")
+def nearest_neighbor_forest(udg: Topology) -> Topology:
+    """The Nearest Neighbor Forest as a topology (possibly disconnected)."""
+    return Topology(udg.positions, nearest_neighbor_edges(udg))

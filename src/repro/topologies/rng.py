@@ -1,0 +1,29 @@
+"""Relative neighborhood graph restricted to the unit disk graph.
+
+Edge ``{u, v}`` survives iff no third node ``w`` is strictly closer to both
+endpoints than they are to each other (the "lune" is empty). RNG is a
+subgraph of the Gabriel graph and a supergraph of the EMST.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+@register("rng")
+def relative_neighborhood_graph(udg: Topology) -> Topology:
+    pos = udg.positions
+    keep = []
+    for k, (u, v) in enumerate(udg.edges):
+        duv = udg.edge_lengths[k]
+        du = np.hypot(*(pos - pos[u]).T)
+        dv = np.hypot(*(pos - pos[v]).T)
+        blocker = (du < duv * (1.0 - 1e-12)) & (dv < duv * (1.0 - 1e-12))
+        blocker[u] = False
+        blocker[v] = False
+        if not blocker.any():
+            keep.append((u, v))
+    return Topology(pos, np.array(keep, dtype=np.int64).reshape(-1, 2))

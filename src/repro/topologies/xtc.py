@@ -1,0 +1,59 @@
+"""XTC (Wattenhofer & Zollinger [19]) over a pluggable link-quality order.
+
+XTC's defining feature is that it needs no positions — only a total order
+on each node's links by quality. Each node ranks its UDG neighbours; edge
+``{u, v}`` is dropped iff some common witness ``w`` is better than ``v``
+from ``u``'s view *and* better than ``u`` from ``v``'s view. Because the
+quality is a symmetric edge weight, both endpoints reach the same verdict
+and the output is connected whenever the input is.
+
+The default quality is Euclidean distance (the geometric setting, where
+the output is a subgraph of the RNG); pass any symmetric ``link_quality``
+(lower = better) to model e.g. measured packet loss.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+def xtc_with_quality(
+    udg: Topology,
+    link_quality: Callable[[int, int], float] | None = None,
+) -> Topology:
+    """Run XTC with an arbitrary symmetric link-quality function.
+
+    ``link_quality(u, v)`` must be symmetric (same value for ``(v, u)``);
+    lower values are better links. Ties are broken by the canonical edge
+    id so the ranking is always total.
+    """
+    pos = udg.positions
+    if link_quality is None:
+        def link_quality(a: int, b: int) -> float:  # noqa: E306
+            return float(np.hypot(*(pos[a] - pos[b])))
+
+    def rank(a: int, b: int) -> tuple[float, int, int]:
+        return (link_quality(a, b), min(a, b), max(a, b))
+
+    keep = []
+    for u, v in udg.edges:
+        q_uv = rank(u, v)
+        dropped = False
+        for w in udg.neighbors(u) & udg.neighbors(v):
+            if rank(u, w) < q_uv and rank(v, w) < q_uv:
+                dropped = True
+                break
+        if not dropped:
+            keep.append((u, v))
+    return Topology(pos, np.array(keep, dtype=np.int64).reshape(-1, 2))
+
+
+@register("xtc")
+def xtc(udg: Topology) -> Topology:
+    """XTC with Euclidean link quality (the geometric setting)."""
+    return xtc_with_quality(udg)

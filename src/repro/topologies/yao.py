@@ -1,0 +1,42 @@
+"""Yao graph restricted to the unit disk graph.
+
+Each node partitions the plane into ``k`` equal cones (first cone starting
+at angle 0) and keeps a directed edge to the nearest UDG neighbour in each
+non-empty cone; the undirected output is the union of directions. With
+``k >= 6`` the Yao graph is a connectivity-preserving spanner.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+def yao_graph(udg: Topology, *, k: int = 6) -> Topology:
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    pos = udg.positions
+    sector = 2.0 * math.pi / k
+    rows: set[tuple[int, int]] = set()
+    for u in range(udg.n):
+        nbrs = np.array(sorted(udg.neighbors(u)), dtype=np.int64)
+        if nbrs.size == 0:
+            continue
+        d = pos[nbrs] - pos[u]
+        ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), 2.0 * math.pi)
+        cone = np.minimum((ang / sector).astype(np.int64), k - 1)
+        dist = np.hypot(d[:, 0], d[:, 1])
+        for c in np.unique(cone):
+            mask = cone == c
+            v = int(nbrs[mask][np.argmin(dist[mask])])
+            rows.add((min(u, v), max(u, v)))
+    return Topology(pos, np.array(sorted(rows), dtype=np.int64).reshape(-1, 2))
+
+
+@register("yao6")
+def _yao6(udg: Topology) -> Topology:
+    return yao_graph(udg, k=6)

@@ -1,0 +1,15 @@
+"""Shared utilities: seeded RNG handling and validation helpers."""
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import (
+    check_edge_array,
+    check_positions,
+    check_radii,
+)
+
+__all__ = [
+    "as_generator",
+    "check_positions",
+    "check_radii",
+    "check_edge_array",
+]

@@ -1,0 +1,27 @@
+"""Deterministic random-number handling.
+
+All stochastic code in the library accepts a ``seed`` argument that may be an
+``int``, ``None`` or an existing :class:`numpy.random.Generator`. Routing all
+randomness through :func:`as_generator` keeps experiments reproducible and
+lets callers share a single generator across composed components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | None | np.random.Generator"
+
+
+def as_generator(seed: int | None | np.random.Generator) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        (returned unchanged so that state is shared with the caller).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

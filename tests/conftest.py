@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import random_udg_connected, random_uniform_square
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_positions():
+    """Seven hand-placed 2-D points with distinct pairwise distances."""
+    return np.array(
+        [
+            [0.0, 0.0],
+            [0.8, 0.1],
+            [1.5, 0.6],
+            [0.3, 1.1],
+            [2.2, 0.2],
+            [1.1, 1.7],
+            [2.6, 1.3],
+        ]
+    )
+
+
+@pytest.fixture
+def small_udg(small_positions):
+    return unit_disk_graph(small_positions, unit=1.0)
+
+
+@pytest.fixture
+def connected_udg():
+    """A 40-node connected random UDG (deterministic)."""
+    pos = random_udg_connected(40, side=3.0, seed=99)
+    return unit_disk_graph(pos, unit=1.0)
+
+
+@pytest.fixture
+def path_topology():
+    """Five nodes on a line, consecutive edges."""
+    pos = np.array([[float(i), 0.0] for i in range(5)])
+    return Topology(pos, [(i, i + 1) for i in range(4)])
+
+
+@pytest.fixture
+def random_positions():
+    return random_uniform_square(30, side=2.5, seed=7)

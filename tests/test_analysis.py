@@ -1,0 +1,108 @@
+"""Tests for fitting, stats and table rendering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_power_law, fit_sqrt, loglog_slope
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+
+
+class TestPowerLaw:
+    def test_exact_recovery(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        y = 3.0 * x**0.5
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(0.5)
+        assert fit.c == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 4, 8])
+        np.testing.assert_allclose(fit.predict([8]), [16.0], rtol=1e-9)
+
+    def test_loglog_slope_linear_data(self):
+        x = np.array([1.0, 2.0, 5.0, 10.0])
+        assert loglog_slope(x, 7 * x) == pytest.approx(1.0)
+
+    def test_noise_reduces_r2(self, rng):
+        x = np.linspace(1, 100, 50)
+        y = x**0.5 * np.exp(rng.normal(0, 0.3, 50))
+        fit = fit_power_law(x, y)
+        assert fit.r_squared < 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0])
+
+
+class TestSqrtFit:
+    def test_exact(self):
+        x = np.array([1.0, 4.0, 9.0, 16.0])
+        c, r2 = fit_sqrt(x, 2.5 * np.sqrt(x))
+        assert c == pytest.approx(2.5)
+        assert r2 == pytest.approx(1.0)
+
+    def test_linear_data_scores_poorly(self):
+        x = np.linspace(1, 100, 30)
+        _, r2_sqrt_on_linear = fit_sqrt(x, x)
+        _, r2_sqrt_on_sqrt = fit_sqrt(x, np.sqrt(x))
+        assert r2_sqrt_on_sqrt > r2_sqrt_on_linear
+
+    def test_rejects_negative_x(self):
+        with pytest.raises(ValueError):
+            fit_sqrt([-1.0, 1.0], [1.0, 1.0])
+
+
+class TestSummarize:
+    def test_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["median"] == 2.5 and s["mean"] == 2.5
+
+    def test_nan_dropped(self):
+        s = summarize([1.0, float("nan"), 3.0])
+        assert s["mean"] == 2.0
+
+    def test_empty_all_nan(self):
+        s = summarize([])
+        assert all(math.isnan(v) for v in s.values())
+
+
+class TestFormatTable:
+    def test_renders_all_rows(self):
+        out = format_table(["a", "b"], [[1, "x"], [22, "yy"]])
+        assert "22" in out and "yy" in out
+        assert out.count("\n") >= 4
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Hello")
+        assert out.startswith("Hello")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_bool_and_float_formatting(self):
+        out = format_table(["x"], [[True], [False], [1.23456], [float("nan")]])
+        assert "yes" in out and "no" in out and "1.235" in out and "nan" in out
+
+    def test_infinity_formatting(self):
+        out = format_table(["x"], [[float("inf")], [float("-inf")]])
+        assert "inf" in out and "-inf" in out
+
+    def test_numeric_right_alignment(self):
+        out = format_table(["n"], [[1], [100]])
+        lines = out.splitlines()
+        assert lines[-2] == "| 100 |"
+        assert lines[-3] == "|   1 |"

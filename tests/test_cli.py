@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8_aexp" in out and "thm56_aapx" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "fig2_sample"]) == 0
+        out = capsys.readouterr().out
+        assert "I(v)" in out
+
+    def test_run_with_json_dir(self, capsys, tmp_path):
+        assert main(["run", "fig2_sample", "--json-dir", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "fig2_sample.json").read_text())
+        assert payload["experiment_id"] == "fig2_sample"
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "bogus"])
+
+    def test_seed_override(self, capsys):
+        assert main(["run", "fig1_robustness", "--seed", "11"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_report_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["report"])

@@ -1,0 +1,140 @@
+"""Tests for the synchronous message-passing framework and protocols."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    DistributedLmst,
+    DistributedNnf,
+    DistributedXtc,
+    Protocol,
+    SynchronousNetwork,
+)
+from repro.geometry.generators import random_udg_connected
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+from repro.topologies import build
+
+
+@pytest.fixture(scope="module")
+def udgs():
+    return [
+        unit_disk_graph(random_udg_connected(40, side=3.0, seed=s))
+        for s in (101, 102, 103)
+    ]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "proto_cls,name",
+        [(DistributedNnf, "nnf"), (DistributedXtc, "xtc"), (DistributedLmst, "lmst")],
+    )
+    def test_matches_centralized(self, udgs, proto_cls, name):
+        for udg in udgs:
+            result = SynchronousNetwork(udg).run(proto_cls())
+            central = build(name, udg)
+            assert np.array_equal(result.topology.edges, central.edges)
+
+    def test_lmst_connectivity(self, udgs):
+        for udg in udgs:
+            result = SynchronousNetwork(udg).run(DistributedLmst())
+            assert result.topology.is_connected()
+
+    def test_xtc_connectivity(self, udgs):
+        for udg in udgs:
+            result = SynchronousNetwork(udg).run(DistributedXtc())
+            assert result.topology.is_connected()
+
+
+class TestMessageComplexity:
+    def test_broadcast_counts(self, udgs):
+        """Each broadcast round delivers exactly 2m messages network-wide."""
+        udg = udgs[0]
+        two_m = 2 * udg.n_edges
+        nnf = SynchronousNetwork(udg).run(DistributedNnf())
+        assert nnf.messages_per_round == [two_m]
+        xtc = SynchronousNetwork(udg).run(DistributedXtc())
+        assert xtc.messages_per_round == [two_m, two_m]
+        assert xtc.messages_total == 2 * two_m
+
+    def test_rounds_reported(self, udgs):
+        res = SynchronousNetwork(udgs[0]).run(DistributedLmst())
+        assert res.rounds == 2
+
+
+class TestFramework:
+    def test_silent_round_costs_nothing(self):
+        class Silent(Protocol):
+            n_rounds = 2
+            combine = "union"
+
+            def init_state(self, node, position, neighbor_ids):
+                return {"nbrs": list(neighbor_ids)}
+
+            def send(self, round_idx, state):
+                return "hello" if round_idx == 0 else None
+
+            def receive(self, round_idx, state, inbox):
+                pass
+
+            def nominations(self, state):
+                return state["nbrs"]
+
+        pos = np.array([[0.0, 0.0], [0.5, 0.0], [1.0, 0.0]])
+        udg = unit_disk_graph(pos)
+        res = SynchronousNetwork(udg).run(Silent())
+        assert res.messages_per_round[1] == 0
+        # union of "keep all neighbours" is the UDG itself
+        assert np.array_equal(res.topology.edges, udg.edges)
+
+    def test_intersection_combination(self):
+        class OneSided(Protocol):
+            n_rounds = 1
+            combine = "intersection"
+
+            def init_state(self, node, position, neighbor_ids):
+                return {"id": node, "nbrs": list(neighbor_ids)}
+
+            def send(self, round_idx, state):
+                return None
+
+            def receive(self, round_idx, state, inbox):
+                pass
+
+            def nominations(self, state):
+                # only even nodes nominate anything
+                return state["nbrs"] if state["id"] % 2 == 0 else []
+
+        pos = np.array([[0.0, 0.0], [0.5, 0.0], [1.0, 0.0]])
+        udg = unit_disk_graph(pos)
+        res = SynchronousNetwork(udg).run(OneSided())
+        # node 1 nominates nobody, so its edges die; the mutual 0-2
+        # nomination (distance exactly 1.0, hence UDG-adjacent) survives
+        assert res.topology.n_edges == 1
+        assert res.topology.has_edge(0, 2)
+
+    def test_invalid_nomination_rejected(self):
+        class Cheater(Protocol):
+            n_rounds = 1
+            combine = "union"
+
+            def init_state(self, node, position, neighbor_ids):
+                return {"id": node}
+
+            def send(self, round_idx, state):
+                return None
+
+            def receive(self, round_idx, state, inbox):
+                pass
+
+            def nominations(self, state):
+                return [99] if state["id"] == 0 else []
+
+        pos = np.array([[0.0, 0.0], [0.5, 0.0]])
+        udg = unit_disk_graph(pos)
+        with pytest.raises(RuntimeError, match="non-neighbours"):
+            SynchronousNetwork(udg).run(Cheater())
+
+    def test_lmst_unit_validation(self):
+        with pytest.raises(ValueError):
+            DistributedLmst(unit=0.0)

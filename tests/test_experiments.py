@@ -1,0 +1,160 @@
+"""Tests for the experiment harness: every experiment runs and certifies its
+paper claim on reduced-size parameters."""
+
+import json
+
+import pytest
+
+from repro import experiments
+from repro.experiments.registry import ExperimentResult
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig1_robustness",
+            "fig2_sample",
+            "fig7_linear_chain",
+            "fig8_aexp",
+            "thm41_nnf",
+            "thm52_lower_bound",
+            "thm54_agen",
+            "thm56_aapx",
+            "thm56_gamma_check",
+            "survey_baselines",
+            "sim_collisions",
+            "robustness_sweep",
+            "ext_2d",
+            "tdma_scheduling",
+            "sinr_validation",
+            "mobility_timeline",
+            "gathering",
+            "distributed_tc",
+            "ablation_agen_spacing",
+        }
+        assert expected <= set(experiments.REGISTRY)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            experiments.run("nope")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.registry import register
+
+        with pytest.raises(ValueError):
+            register("fig2_sample", "dup", "x")(lambda: None)
+
+    def test_result_render_and_json(self):
+        result = experiments.run("fig2_sample")
+        text = result.render()
+        assert "fig2_sample" in text and "elapsed" in text
+        payload = json.loads(result.to_json())
+        assert payload["experiment_id"] == "fig2_sample"
+        assert payload["rows"]
+
+
+class TestClaims:
+    """Each experiment's headline claim, on small/fast parameters."""
+
+    def test_fig1(self):
+        r = experiments.run("fig1_robustness", sizes=(10, 30))
+        assert all(d <= 2 for d in r.data["receiver_delta"])
+        assert r.data["sender_after"][-1] >= 27
+
+    def test_fig2(self):
+        r = experiments.run("fig2_sample")
+        assert r.data["interference"][0] == 2
+
+    def test_fig7(self):
+        r = experiments.run("fig7_linear_chain", sizes=(4, 10, 30))
+        assert r.data["I"] == [2, 8, 28]
+
+    def test_fig8(self):
+        r = experiments.run("fig8_aexp", sizes=(16, 64, 256))
+        assert 0.35 < r.data["fit_exponent"] < 0.65
+
+    def test_thm41(self):
+        r = experiments.run("thm41_nnf", ms=(4, 8, 16))
+        assert r.data["emst_I"] == sorted(r.data["emst_I"])
+        assert max(r.data["opt_I"]) <= 6
+
+    def test_thm52(self):
+        r = experiments.run("thm52_lower_bound", sizes=(3, 5, 7))
+        import math
+
+        for n, opt in zip(r.data["n"], r.data["opt"]):
+            assert opt >= math.sqrt(n) - 1
+
+    def test_thm54(self):
+        r = experiments.run("thm54_agen")
+        import math
+
+        for ival, delta in zip(r.data["I"], r.data["delta"]):
+            assert ival <= 3.0 * math.sqrt(delta)
+
+    def test_thm56(self):
+        r = experiments.run("thm56_aapx")
+        assert max(r.data["ratio"]) <= 4.0
+
+    def test_gamma_check(self):
+        r = experiments.run("thm56_gamma_check")
+        assert all(row[-1] for row in r.rows)
+
+    def test_survey(self):
+        r = experiments.run("survey_baselines", n=40, m_adversarial=12)
+        adv = r.data["adversarial_I"]
+        assert adv["emst"] >= 10  # Omega(n) collapse
+        assert all(adv[k] >= adv["emst"] - 3 for k in ("rng", "gabriel", "lmst"))
+
+    def test_sim(self):
+        r = experiments.run("sim_collisions", n_slots=800)
+        assert min(r.data["corr"]) > 0.5
+        assert r.data["mean_collision"][0] > r.data["mean_collision"][1]
+
+    def test_robustness_sweep(self):
+        r = experiments.run("robustness_sweep", n_total=30, n_seeds=2)
+        assert r.data["receiver_straggler"].max() <= 2
+        assert r.data["sender_straggler"].max() >= 10
+
+    def test_ext_2d(self):
+        r = experiments.run("ext_2d", adversarial_ms=(8,))
+        for name, e, l in zip(
+            r.data["instances"], r.data["emst"], r.data["local_search"]
+        ):
+            assert l <= e
+            if name.startswith("two-chains"):
+                assert l < e
+
+    def test_tdma(self):
+        r = experiments.run("tdma_scheduling")
+        assert r.data["spearman"] > 0.9
+        # schedules must be non-trivial and within a small factor of I+1
+        for i, s in zip(r.data["I"], r.data["slots"]):
+            assert 2 <= s <= 2 * (i + 1)
+
+    def test_sinr(self):
+        r = experiments.run("sinr_validation", n_slots=1200)
+        # ranking preserved within both instance pairs
+        assert r.data["sinr_loss"][0] > r.data["sinr_loss"][1]
+        assert r.data["sinr_loss"][2] > r.data["sinr_loss"][3]
+        assert min(r.data["corr"]) > 0.2
+
+    def test_mobility(self):
+        r = experiments.run("mobility_timeline", n=30, n_steps=10)
+        udg_max = int(r.data["udg"]["series"].max())
+        for name in ("emst", "lmst", "rng"):
+            assert int(r.data[name]["series"].max()) <= udg_max
+
+    def test_gathering(self):
+        r = experiments.run("gathering", n=40, n_slots=2000)
+        assert r.data["I"][1] <= r.data["I"][0]
+        assert r.data["overhead"][1] <= r.data["overhead"][0]
+
+    def test_distributed(self):
+        r = experiments.run("distributed_tc", n=40)
+        assert all(r.data["matches"].values())
+
+    def test_ablation_spacing(self):
+        r = experiments.run("ablation_agen_spacing")
+        exp_values = r.data["exp chain n=256"]
+        assert exp_values["sqrt (paper)"] == min(exp_values.values())

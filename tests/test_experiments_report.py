@@ -1,0 +1,51 @@
+"""Tests for report/CSV generation and the extended CLI."""
+
+import csv
+
+import pytest
+
+from repro import experiments
+from repro.cli import main
+from repro.experiments.report import (
+    render_report,
+    result_to_csv,
+    write_csvs,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    return [experiments.run("fig2_sample"), experiments.run("fig7_linear_chain", sizes=(4, 8))]
+
+
+class TestCsv:
+    def test_round_trip(self, small_results):
+        text = result_to_csv(small_results[0])
+        rows = list(csv.reader(text.splitlines()))
+        assert rows[0] == small_results[0].headers
+        assert len(rows) == len(small_results[0].rows) + 1
+
+    def test_write_csvs(self, small_results, tmp_path):
+        paths = write_csvs(small_results, tmp_path)
+        assert [p.name for p in paths] == ["fig2_sample.csv", "fig7_linear_chain.csv"]
+        assert all(p.exists() for p in paths)
+
+
+class TestReport:
+    def test_render_contains_all(self, small_results):
+        text = render_report(small_results, title="T")
+        assert text.startswith("# T")
+        for r in small_results:
+            assert r.experiment_id in text
+
+    def test_write_report(self, small_results, tmp_path):
+        path = write_report(small_results, tmp_path / "sub" / "report.md")
+        assert path.exists()
+        assert "fig2_sample" in path.read_text()
+
+
+class TestCliExtensions:
+    def test_run_with_csv_dir(self, tmp_path, capsys):
+        assert main(["run", "fig2_sample", "--csv-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "fig2_sample.csv").exists()

@@ -1,0 +1,126 @@
+"""Tests for the 2-D future-work extensions."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import a_gen_2d, reduce_interference
+from repro.geometry.generators import (
+    random_udg_connected,
+    two_exponential_chains,
+    uniform_chain,
+)
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.topologies import build
+
+
+class TestAGen2D:
+    def test_connectivity_and_subgraph(self):
+        for seed in (1, 2):
+            pos = random_udg_connected(60, side=3.5, seed=seed)
+            udg = unit_disk_graph(pos)
+            t = a_gen_2d(pos)
+            assert t.is_connected()
+            assert t.is_subgraph_of(udg)
+
+    def test_disconnected_components_preserved(self):
+        pos = np.vstack(
+            [
+                random_udg_connected(15, side=1.5, seed=3),
+                random_udg_connected(15, side=1.5, seed=4) + [50.0, 0.0],
+            ]
+        )
+        udg = unit_disk_graph(pos)
+        t = a_gen_2d(pos)
+        from repro.graphs.traversal import connected_components
+
+        assert connected_components(t.as_graph(weighted=False)) == connected_components(
+            udg.as_graph(weighted=False)
+        )
+
+    def test_reduces_to_agen_like_on_1d(self):
+        """On a 1-D instance the construction stays within the unit range
+        and preserves connectivity, like A_gen."""
+        pos = uniform_chain(60, spacing=0.05)
+        t = a_gen_2d(pos)
+        assert t.is_connected()
+        assert t.edge_lengths.max() <= 1.0 + 1e-9
+
+    def test_beats_emst_on_adversarial(self):
+        pos, _ = two_exponential_chains(16)
+        unit = float(2.0**17)
+        udg = unit_disk_graph(pos, unit=unit)
+        emst_i = graph_interference(build("emst", udg))
+        g2_i = graph_interference(a_gen_2d(pos, unit=unit))
+        assert g2_i < emst_i
+
+    def test_trivial_sizes(self):
+        assert a_gen_2d(np.array([[0.0, 0.0]])).n_edges == 0
+        t = a_gen_2d(np.array([[0.0, 0.0], [0.5, 0.5]]))
+        assert t.has_edge(0, 1)
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            a_gen_2d(np.zeros((2, 2)), unit=-1.0)
+
+    def test_delta_hint(self):
+        pos = random_udg_connected(30, side=2.5, seed=5)
+        delta = unit_disk_graph(pos).max_degree()
+        a = a_gen_2d(pos)
+        b = a_gen_2d(pos, delta=delta)
+        assert np.array_equal(a.edges, b.edges)
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self):
+        for seed in (1, 2, 3):
+            pos = random_udg_connected(40, side=3.0, seed=seed)
+            udg = unit_disk_graph(pos)
+            emst = build("emst", udg)
+            out = reduce_interference(udg, seed=seed, max_rounds=2)
+            assert graph_interference(out) <= graph_interference(emst)
+            assert out.is_connected()
+            assert out.is_subgraph_of(udg)
+
+    def test_spanning_tree_output(self):
+        pos = random_udg_connected(30, side=2.5, seed=7)
+        udg = unit_disk_graph(pos)
+        out = reduce_interference(udg, seed=0, max_rounds=1)
+        assert out.n_edges == udg.n - 1
+
+    def test_escapes_adversarial_trap(self):
+        """The headline extension result: near-constant interference on the
+        instance where the EMST is Omega(n)."""
+        pos, _ = two_exponential_chains(12)
+        unit = float(2.0**13)
+        udg = unit_disk_graph(pos, unit=unit)
+        emst_i = graph_interference(build("emst", udg))
+        ls_i = graph_interference(reduce_interference(udg, seed=0, max_rounds=3))
+        assert ls_i <= emst_i // 2
+
+    def test_custom_start(self):
+        pos = random_udg_connected(25, side=2.0, seed=9)
+        udg = unit_disk_graph(pos)
+        start = build("rng", udg)
+        out = reduce_interference(udg, start=start, seed=1, max_rounds=1)
+        assert graph_interference(out) <= graph_interference(start)
+
+    def test_rejects_bad_start(self):
+        pos = random_udg_connected(10, side=1.2, seed=11)
+        udg = unit_disk_graph(pos)
+        from repro.model.topology import Topology
+
+        disconnected = Topology(pos, udg.edges[:1])
+        with pytest.raises(ValueError, match="connected"):
+            reduce_interference(udg, start=disconnected)
+        foreign = Topology(pos, [(0, 9)]) if not udg.has_edge(0, 9) else None
+        if foreign is not None:
+            with pytest.raises(ValueError, match="subtopology"):
+                reduce_interference(udg, start=foreign)
+
+    def test_deterministic_given_seed(self):
+        pos = random_udg_connected(25, side=2.0, seed=13)
+        udg = unit_disk_graph(pos)
+        a = reduce_interference(udg, seed=5, max_rounds=1)
+        b = reduce_interference(udg, seed=5, max_rounds=1)
+        assert np.array_equal(a.edges, b.edges)

@@ -1,0 +1,114 @@
+"""Tests for gathering trees and the greedy spanner baseline."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.gathering import (
+    low_interference_gather_tree,
+    shortest_path_tree,
+    tree_depth,
+)
+from repro.geometry.generators import random_udg_connected
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.topologies.greedy_spanner import greedy_spanner
+
+
+@pytest.fixture(scope="module")
+def udg():
+    pos = random_udg_connected(50, side=3.2, seed=25)
+    return unit_disk_graph(pos, unit=1.0)
+
+
+class TestShortestPathTree:
+    def test_spanning_tree(self, udg):
+        t = shortest_path_tree(udg, 0)
+        assert t.is_connected()
+        assert t.n_edges == udg.n - 1
+        assert t.is_subgraph_of(udg)
+
+    def test_depth_equals_min_possible_weighted_paths(self, udg):
+        """SPT depth can't beat the BFS eccentricity of the sink."""
+        from repro.graphs.paths import hop_distances
+
+        t = shortest_path_tree(udg, 0)
+        bfs_depth = int(hop_distances(udg.as_graph(weighted=False), 0).max())
+        assert tree_depth(t, 0) >= bfs_depth
+
+    def test_bad_sink(self, udg):
+        with pytest.raises(ValueError):
+            shortest_path_tree(udg, 999)
+
+
+class TestLowInterferenceGatherTree:
+    def test_spanning_and_subgraph(self, udg):
+        t = low_interference_gather_tree(udg, 0)
+        assert t.is_connected()
+        assert t.n_edges == udg.n - 1
+        assert t.is_subgraph_of(udg)
+
+    def test_lower_interference_than_spt(self, udg):
+        spt_i = graph_interference(shortest_path_tree(udg, 0))
+        lig_i = graph_interference(low_interference_gather_tree(udg, 0))
+        assert lig_i <= spt_i
+
+    def test_depth_limit_steers_depth(self, udg):
+        spt_depth = tree_depth(shortest_path_tree(udg, 0), 0)
+        unlimited = tree_depth(low_interference_gather_tree(udg, 0), 0)
+        limited = tree_depth(
+            low_interference_gather_tree(udg, 0, depth_limit=2 * spt_depth), 0
+        )
+        assert limited <= unlimited
+        # soft bound: stays within 1.5x of the requested cap in practice
+        assert limited <= 3 * spt_depth
+
+    def test_partial_component_only(self):
+        pos = np.array([[0.0, 0.0], [0.5, 0.0], [9.0, 0.0]])
+        udg = unit_disk_graph(pos)
+        t = low_interference_gather_tree(udg, 0)
+        assert t.has_edge(0, 1)
+        assert t.degrees[2] == 0
+
+    def test_invalid_inputs(self, udg):
+        with pytest.raises(ValueError):
+            low_interference_gather_tree(udg, -1)
+        with pytest.raises(ValueError):
+            low_interference_gather_tree(udg, 0, depth_limit=0)
+
+    def test_tree_depth_empty(self):
+        from repro.model.topology import Topology
+
+        t = Topology(np.array([[0.0, 0.0]]), ())
+        assert tree_depth(t, 0) == 0
+
+
+class TestGreedySpanner:
+    def test_is_t_spanner(self, udg):
+        from repro.graphs.spanner import graph_stretch
+
+        t = 2.0
+        sp = greedy_spanner(udg, t=t)
+        assert graph_stretch(sp.as_graph(), udg.as_graph(), udg.positions) <= t + 1e-9
+
+    def test_connected_and_subgraph(self, udg):
+        sp = greedy_spanner(udg, t=2.0)
+        assert sp.is_connected()
+        assert sp.is_subgraph_of(udg)
+
+    def test_larger_t_sparser(self, udg):
+        assert greedy_spanner(udg, t=3.0).n_edges <= greedy_spanner(udg, t=1.5).n_edges
+
+    def test_t1_keeps_everything_needed(self, udg):
+        """t=1: every edge is needed unless an exact alternative path
+        exists; in general position the spanner equals the UDG."""
+        sp = greedy_spanner(udg, t=1.0)
+        assert sp.n_edges == udg.n_edges
+
+    def test_invalid_t(self, udg):
+        with pytest.raises(ValueError):
+            greedy_spanner(udg, t=0.9)
+
+    def test_registered(self, udg):
+        from repro.topologies import build
+
+        assert build("gspan2", udg).is_connected()

@@ -1,0 +1,94 @@
+"""Tests for the distance kernels in repro.geometry.points."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import (
+    bounding_box,
+    distance,
+    distance_matrix,
+    distances_from,
+    pairwise_within,
+)
+
+
+class TestDistance:
+    def test_pythagorean(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert distance((1.5, -2.0), (1.5, -2.0)) == 0.0
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self, random_positions):
+        d = distance_matrix(random_positions)
+        assert np.array_equal(d, d.T)
+        assert np.all(np.diag(d) == 0.0)
+
+    def test_matches_scipy(self, random_positions):
+        from scipy.spatial.distance import cdist
+
+        d = distance_matrix(random_positions)
+        ref = cdist(random_positions, random_positions)
+        np.testing.assert_allclose(d, ref, rtol=1e-12)
+
+    def test_chunking_consistent(self, random_positions):
+        full = distance_matrix(random_positions)
+        chunked = distance_matrix(random_positions, chunk_rows=3)
+        np.testing.assert_array_equal(full, chunked)
+
+    def test_triangle_inequality(self, random_positions):
+        d = distance_matrix(random_positions)
+        n = d.shape[0]
+        for i in range(0, n, 5):
+            for j in range(0, n, 5):
+                lhs = d[i, :] + d[:, j]
+                assert np.all(lhs >= d[i, j] - 1e-12)
+
+
+class TestDistancesFrom:
+    def test_matches_matrix_row(self, random_positions):
+        d = distance_matrix(random_positions)
+        for origin in (0, 7, 29):
+            np.testing.assert_allclose(
+                distances_from(random_positions, origin), d[origin], rtol=1e-12
+            )
+
+
+class TestPairwiseWithin:
+    def test_brute_reference(self, random_positions):
+        r = 0.8
+        got = {tuple(e) for e in pairwise_within(random_positions, r)}
+        d = distance_matrix(random_positions)
+        n = d.shape[0]
+        want = {
+            (i, j) for i in range(n) for j in range(i + 1, n) if d[i, j] <= r
+        }
+        assert got == want
+
+    def test_orders_i_less_than_j(self, random_positions):
+        pairs = pairwise_within(random_positions, 1.0)
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+
+    def test_radius_zero_only_coincident(self):
+        pos = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]])
+        pairs = pairwise_within(pos, 0.0)
+        assert pairs.tolist() == [[0, 1]]
+
+    def test_negative_radius_rejected(self, random_positions):
+        with pytest.raises(ValueError):
+            pairwise_within(random_positions, -1.0)
+
+    def test_empty_input(self):
+        assert pairwise_within(np.zeros((0, 2)), 1.0).shape == (0, 2)
+
+
+class TestBoundingBox:
+    def test_simple(self):
+        box = bounding_box([[0.0, -1.0], [2.0, 3.0], [1.0, 1.0]])
+        assert box == (0.0, -1.0, 2.0, 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box(np.zeros((0, 2)))

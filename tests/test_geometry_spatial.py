@@ -1,0 +1,76 @@
+"""Tests for the grid spatial index."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import distance_matrix, pairwise_within
+from repro.geometry.spatial import GridIndex
+
+
+class TestGridIndex:
+    def test_query_radius_matches_brute(self, random_positions):
+        index = GridIndex(random_positions, cell_size=0.5)
+        d = distance_matrix(random_positions)
+        for i in range(0, len(random_positions), 4):
+            for r in (0.2, 0.6, 1.3):
+                got = set(index.query_radius(random_positions[i], r).tolist())
+                want = set(np.nonzero(d[i] <= r)[0].tolist())
+                assert got == want, (i, r)
+
+    def test_query_point_excludes_self(self, random_positions):
+        index = GridIndex(random_positions, cell_size=0.7)
+        for i in range(len(random_positions)):
+            assert i not in index.query_point(i, 1.0)
+
+    def test_query_off_grid_center(self, random_positions):
+        index = GridIndex(random_positions, cell_size=0.5)
+        center = np.array([-5.0, -5.0])
+        assert index.query_radius(center, 0.5).size == 0
+
+    def test_pairs_within_matches_brute(self, random_positions):
+        index = GridIndex(random_positions, cell_size=0.9)
+        got = {tuple(e) for e in index.pairs_within(0.9)}
+        want = {tuple(e) for e in pairwise_within(random_positions, 0.9)}
+        assert got == want
+
+    def test_pairs_within_large_radius(self, random_positions):
+        """Radius much larger than cell size still finds every pair."""
+        index = GridIndex(random_positions, cell_size=0.2)
+        got = {tuple(e) for e in index.pairs_within(2.0)}
+        want = {tuple(e) for e in pairwise_within(random_positions, 2.0)}
+        assert got == want
+
+    def test_count_within(self, random_positions):
+        index = GridIndex(random_positions, cell_size=0.5)
+        centers = random_positions[:5]
+        radii = np.full(5, 0.8)
+        counts = index.count_within(centers, radii)
+        d = distance_matrix(random_positions)
+        for k in range(5):
+            assert counts[k] == int((d[k] <= 0.8).sum())
+
+    def test_empty_index(self):
+        index = GridIndex(np.zeros((0, 2)), cell_size=1.0)
+        assert len(index) == 0
+        assert index.query_radius((0.0, 0.0), 5.0).size == 0
+        assert index.pairs_within(1.0).shape == (0, 2)
+
+    def test_single_point(self):
+        index = GridIndex([[2.0, 3.0]], cell_size=1.0)
+        assert index.query_radius((2.0, 3.0), 0.0).tolist() == [0]
+        assert index.query_point(0, 10.0).size == 0
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.zeros((2, 2)), cell_size=0.0)
+
+    def test_negative_radius(self, random_positions):
+        index = GridIndex(random_positions, cell_size=1.0)
+        with pytest.raises(ValueError):
+            index.query_radius((0, 0), -0.5)
+
+    def test_boundary_inclusive(self):
+        """Points exactly at the query radius are included."""
+        pos = np.array([[0.0, 0.0], [1.0, 0.0]])
+        index = GridIndex(pos, cell_size=0.3)
+        assert 1 in index.query_radius((0.0, 0.0), 1.0)

@@ -1,0 +1,102 @@
+"""Tests for the Graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.core import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.n == 0 and g.n_edges == 0
+
+    def test_edges_in_constructor(self):
+        g = Graph(4, [(0, 1), (2, 3, 2.5)])
+        assert g.has_edge(1, 0)
+        assert g.weight(2, 3) == 2.5
+        assert g.weight(0, 1) == 1.0
+
+    def test_from_edge_array_with_weights(self):
+        g = Graph.from_edge_array(3, [(2, 0), (1, 2)], weights=[5.0, 7.0])
+        assert g.weight(0, 2) == 5.0
+        assert g.weight(2, 1) == 7.0
+
+    def test_from_edge_array_weight_mismatch(self):
+        with pytest.raises(ValueError, match="align"):
+            Graph.from_edge_array(3, [(0, 1)], weights=[1.0, 2.0])
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+
+class TestMutation:
+    def test_add_remove(self):
+        g = Graph(3)
+        g.add_edge(0, 2)
+        assert g.has_edge(2, 0)
+        g.remove_edge(2, 0)
+        assert not g.has_edge(0, 2)
+        assert g.n_edges == 0
+
+    def test_remove_missing_raises(self):
+        g = Graph(3)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 3)
+
+    def test_reinsert_updates_weight(self):
+        g = Graph(2, [(0, 1, 1.0)])
+        g.add_edge(0, 1, 9.0)
+        assert g.n_edges == 1
+        assert g.weight(0, 1) == 9.0
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.neighbors(0) == frozenset({1, 2, 3})
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert g.max_degree() == 3
+
+    def test_edge_array_canonical_sorted(self):
+        g = Graph(4, [(3, 1), (2, 0)])
+        assert g.edge_array().tolist() == [[0, 2], [1, 3]]
+
+    def test_weight_array_aligned(self):
+        g = Graph(4, [(3, 1, 2.0), (2, 0, 1.0)])
+        np.testing.assert_array_equal(g.weight_array(), [1.0, 2.0])
+
+    def test_edges_iteration_sorted(self):
+        g = Graph(5, [(4, 0), (1, 2), (0, 3)])
+        assert list(g.edges()) == [(0, 3), (0, 4), (1, 2)]
+
+    def test_copy_independent(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert h.has_edge(0, 1)
+
+    def test_equality_on_structure(self):
+        assert Graph(3, [(0, 1)]) == Graph(3, [(1, 0)])
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+        assert Graph(3) != Graph(4)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph(1))
+
+    def test_repr(self):
+        assert repr(Graph(3, [(0, 1)])) == "Graph(n=3, m=1)"

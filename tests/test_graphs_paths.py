@@ -1,0 +1,86 @@
+"""Tests for Dijkstra and BFS hop distances, cross-checked against networkx."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.core import Graph
+from repro.graphs.paths import dijkstra, extract_path, hop_distances
+
+
+def _weighted_random(n, p, seed):
+    rng = np.random.default_rng(seed)
+    g = Graph(n)
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                w = float(rng.random()) + 0.01
+                g.add_edge(i, j, w)
+                nxg.add_edge(i, j, weight=w)
+    return g, nxg
+
+
+class TestDijkstra:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g, nxg = _weighted_random(20, 0.15, seed)
+        dist, _ = dijkstra(g, 0)
+        ref = nx.single_source_dijkstra_path_length(nxg, 0)
+        for v in range(20):
+            if v in ref:
+                assert dist[v] == pytest.approx(ref[v])
+            else:
+                assert math.isinf(dist[v])
+
+    def test_source_zero_distance(self):
+        g = Graph(3, [(0, 1, 2.0)])
+        dist, parent = dijkstra(g, 0)
+        assert dist[0] == 0.0 and parent[0] == -1
+
+    def test_parent_path_consistent(self):
+        g, _ = _weighted_random(15, 0.3, 1)
+        dist, parent = dijkstra(g, 0)
+        for t in range(15):
+            if not math.isfinite(dist[t]) or t == 0:
+                continue
+            path = extract_path(parent, t)
+            assert path[0] == 0 and path[-1] == t
+            total = sum(g.weight(a, b) for a, b in zip(path, path[1:]))
+            assert total == pytest.approx(dist[t])
+
+    def test_negative_weight_rejected(self):
+        g = Graph(2, [(0, 1, -1.0)])
+        with pytest.raises(ValueError, match="non-negative"):
+            dijkstra(g, 0)
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            dijkstra(Graph(2), 7)
+
+
+class TestHopDistances:
+    def test_path_graph(self):
+        g = Graph(5, [(i, i + 1) for i in range(4)])
+        np.testing.assert_array_equal(hop_distances(g, 0), [0, 1, 2, 3, 4])
+
+    def test_unreachable_minus_one(self):
+        g = Graph(3, [(0, 1)])
+        assert hop_distances(g, 0)[2] == -1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, seed):
+        g, nxg = _weighted_random(20, 0.15, seed)
+        hops = hop_distances(g, 0)
+        ref = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(20):
+            assert hops[v] == ref.get(v, -1)
+
+
+class TestExtractPath:
+    def test_unreachable_returns_singleton(self):
+        parent = np.array([-1, -1, 0])
+        assert extract_path(parent, 1) == [1]

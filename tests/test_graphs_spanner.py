@@ -1,0 +1,54 @@
+"""Tests for stretch-factor computations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs.core import Graph
+from repro.graphs.spanner import euclidean_stretch, graph_stretch
+from repro.model.udg import unit_disk_graph
+
+
+class TestEuclideanStretch:
+    def test_complete_graph_is_one(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        g = Graph(3, [(0, 1), (0, 2), (1, 2)])
+        assert euclidean_stretch(g, pos) == pytest.approx(1.0)
+
+    def test_path_detour(self):
+        """Unit right angle: path 0-1-2 vs direct distance sqrt(2)."""
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0]])
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert euclidean_stretch(g, pos) == pytest.approx(2.0 / math.sqrt(2.0))
+
+    def test_disconnected_inf(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0]])
+        g = Graph(2)
+        assert math.isinf(euclidean_stretch(g, pos))
+
+    def test_coincident_points_skipped(self):
+        pos = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]])
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert math.isfinite(euclidean_stretch(g, pos))
+
+
+class TestGraphStretch:
+    def test_subgraph_at_least_one(self, random_positions):
+        udg = unit_disk_graph(random_positions)
+        full = udg.as_graph()
+        assert graph_stretch(full, full, random_positions) == pytest.approx(1.0)
+
+    def test_spanning_tree_stretch_exceeds_one(self, connected_udg):
+        from repro.topologies import build
+
+        emst = build("emst", connected_udg)
+        s = graph_stretch(
+            emst.as_graph(), connected_udg.as_graph(), connected_udg.positions
+        )
+        assert s >= 1.0
+        assert math.isfinite(s)
+
+    def test_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            graph_stretch(Graph(2), Graph(3), np.zeros((2, 2)))

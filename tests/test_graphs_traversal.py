@@ -1,0 +1,67 @@
+"""Tests for BFS traversal and connectivity, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.core import Graph
+from repro.graphs.traversal import bfs_order, connected_components, is_connected
+
+
+def _random_graph(n, p, seed):
+    rng = np.random.default_rng(seed)
+    g = Graph(n)
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+                nxg.add_edge(i, j)
+    return g, nxg
+
+
+class TestBfs:
+    def test_order_starts_at_source(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert bfs_order(g, 2) == [2, 1, 3, 0]
+
+    def test_unreachable_excluded(self):
+        g = Graph(4, [(0, 1)])
+        assert set(bfs_order(g, 0)) == {0, 1}
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            bfs_order(Graph(2), 5)
+
+
+class TestComponents:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g, nxg = _random_graph(25, 0.07, seed)
+        ours = {frozenset(c) for c in connected_components(g)}
+        theirs = {frozenset(c) for c in nx.connected_components(nxg)}
+        assert ours == theirs
+
+    def test_isolated_nodes_are_components(self):
+        g = Graph(3, [(0, 1)])
+        comps = connected_components(g)
+        assert comps == [[0, 1], [2]]
+
+
+class TestIsConnected:
+    def test_trivial_graphs(self):
+        assert is_connected(Graph(0))
+        assert is_connected(Graph(1))
+        assert not is_connected(Graph(2))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g, nxg = _random_graph(20, 0.12, seed)
+        assert is_connected(g) == nx.is_connected(nxg)
+
+    def test_path(self):
+        g = Graph(10, [(i, i + 1) for i in range(9)])
+        assert is_connected(g)
+        g.remove_edge(4, 5)
+        assert not is_connected(g)

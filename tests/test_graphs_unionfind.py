@@ -1,0 +1,59 @@
+"""Tests for the disjoint-set structure."""
+
+import pytest
+
+from repro.graphs.unionfind import DisjointSet
+
+
+class TestDisjointSet:
+    def test_initially_singletons(self):
+        ds = DisjointSet(5)
+        assert ds.n_components == 5
+        assert all(ds.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        ds = DisjointSet(4)
+        assert ds.union(0, 1) is True
+        assert ds.connected(0, 1)
+        assert not ds.connected(0, 2)
+        assert ds.n_components == 3
+
+    def test_union_idempotent(self):
+        ds = DisjointSet(3)
+        ds.union(0, 1)
+        assert ds.union(1, 0) is False
+        assert ds.n_components == 2
+
+    def test_transitive(self):
+        ds = DisjointSet(6)
+        ds.union(0, 1)
+        ds.union(2, 3)
+        ds.union(1, 2)
+        assert ds.connected(0, 3)
+        assert ds.n_components == 3
+
+    def test_chain_all_connected(self):
+        n = 100
+        ds = DisjointSet(n)
+        for i in range(n - 1):
+            ds.union(i, i + 1)
+        assert ds.n_components == 1
+        assert ds.connected(0, n - 1)
+
+    def test_component_sizes(self):
+        ds = DisjointSet(5)
+        ds.union(0, 1)
+        ds.union(1, 2)
+        sizes = sorted(ds.component_sizes().values())
+        assert sizes == [1, 1, 3]
+
+    def test_len(self):
+        assert len(DisjointSet(7)) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DisjointSet(-1)
+
+    def test_zero_elements(self):
+        ds = DisjointSet(0)
+        assert ds.n_components == 0

@@ -1,0 +1,81 @@
+"""Tests for Algorithm A_exp (Theorem 5.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import exponential_chain, random_highway
+from repro.highway.a_exp import a_exp
+from repro.highway.bounds import aexp_interference_bound
+from repro.highway.hubs import hub_indices
+from repro.interference.receiver import graph_interference, node_interference
+
+
+class TestAExpStructure:
+    def test_spanning_tree(self):
+        for n in (2, 5, 20, 100):
+            t = a_exp(exponential_chain(n))
+            assert t.is_connected()
+            assert t.n_edges == n - 1
+
+    def test_trivial_sizes(self):
+        assert a_exp(exponential_chain(1)).n_edges == 0
+        t = a_exp(exponential_chain(2))
+        assert t.has_edge(0, 1)
+
+    def test_hub_star_structure(self):
+        """Every node is either a hub or a leaf attached to a hub."""
+        t = a_exp(exponential_chain(50))
+        hubs = set(map(int, hub_indices(t)))
+        for v in range(50):
+            if v not in hubs:
+                assert t.degrees[v] == 1
+
+    def test_hub_count_is_interference_scale(self):
+        """Only hubs cover the leftmost node, so I(v0) ~ #hubs."""
+        t = a_exp(exponential_chain(100))
+        vec = node_interference(t)
+        n_hubs = hub_indices(t).size
+        assert abs(int(vec[0]) - n_hubs) <= 1
+
+    def test_invariant_under_shuffle(self, rng):
+        pos = exponential_chain(30)
+        perm = rng.permutation(30)
+        t1 = a_exp(pos)
+        t2 = a_exp(pos[perm])
+        assert graph_interference(t1) == graph_interference(t2)
+
+
+class TestAExpBound:
+    @pytest.mark.parametrize("n", [16, 64, 256, 512])
+    def test_within_theorem_bound(self, n):
+        ival = graph_interference(a_exp(exponential_chain(n)))
+        # Theorem 5.1's formula assumes ideal hub growth; allow the small
+        # additive boundary effect observed in practice
+        assert ival <= aexp_interference_bound(n) + 4
+
+    def test_sqrt_growth(self):
+        ns = [32, 128, 512]
+        vals = [graph_interference(a_exp(exponential_chain(n))) for n in ns]
+        for n, v in zip(ns, vals):
+            assert v <= 1.25 * math.sqrt(2 * n)
+            assert v >= math.sqrt(n) - 1  # matches the Theorem 5.2 floor
+
+    def test_exponentially_better_than_linear(self):
+        n = 256
+        ival = graph_interference(a_exp(exponential_chain(n)))
+        assert ival < (n - 2) / 5
+
+    def test_runs_on_general_highway(self):
+        """No guarantee off the exponential chain, but must stay connected."""
+        pos = random_highway(40, max_gap=0.2, seed=3)
+        t = a_exp(pos)
+        assert t.is_connected()
+        assert t.n_edges == 39
+
+    def test_runs_on_2d_input(self):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 1, size=(15, 2))
+        t = a_exp(pos)
+        assert t.is_connected()

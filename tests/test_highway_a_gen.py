@@ -1,0 +1,90 @@
+"""Tests for Algorithm A_gen (Theorem 5.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import (
+    exponential_chain,
+    fragmented_exponential_chain,
+    random_highway,
+    uniform_chain,
+)
+from repro.highway.a_gen import a_gen
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+
+
+class TestAGenStructure:
+    @pytest.mark.parametrize(
+        "pos_factory",
+        [
+            lambda: exponential_chain(64),
+            lambda: uniform_chain(80, spacing=0.05),
+            lambda: random_highway(120, max_gap=0.4, seed=1),
+            lambda: fragmented_exponential_chain(5, 12),
+        ],
+    )
+    def test_connectivity_preserved(self, pos_factory):
+        pos = pos_factory()
+        udg = unit_disk_graph(pos)
+        t = a_gen(pos)
+        assert t.is_connected() == udg.is_connected()
+        assert t.is_subgraph_of(udg)
+
+    def test_disconnected_input_components_preserved(self):
+        pos = np.array([0.0, 0.3, 0.6, 5.0, 5.3, 5.6])
+        udg = unit_disk_graph(pos)
+        t = a_gen(pos)
+        from repro.graphs.traversal import connected_components
+
+        ours = connected_components(t.as_graph(weighted=False))
+        theirs = connected_components(udg.as_graph(weighted=False))
+        assert ours == theirs
+
+    def test_edge_lengths_within_unit(self):
+        pos = random_highway(100, max_gap=0.9, seed=2)
+        t = a_gen(pos)
+        assert t.edge_lengths.max() <= 1.0 + 1e-9
+
+    def test_trivial_sizes(self):
+        assert a_gen(np.array([0.0])).n_edges == 0
+        assert a_gen(np.array([0.0, 0.5])).has_edge(0, 1)
+
+    def test_delta_hint_matches_computed(self):
+        pos = random_highway(60, max_gap=0.2, seed=5)
+        delta = unit_disk_graph(pos).max_degree()
+        a = a_gen(pos)
+        b = a_gen(pos, delta=delta)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            a_gen(np.array([0.0, 0.5]), unit=0.0)
+
+
+class TestAGenBound:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sqrt_delta_bound_random(self, seed):
+        pos = random_highway(250, max_gap=0.08, seed=seed)
+        delta = unit_disk_graph(pos).max_degree()
+        ival = graph_interference(a_gen(pos, delta=delta))
+        assert ival <= 3.0 * math.sqrt(delta)
+
+    def test_sqrt_delta_bound_exponential(self):
+        pos = exponential_chain(128)
+        delta = 127
+        ival = graph_interference(a_gen(pos, delta=delta))
+        assert ival <= 3.0 * math.sqrt(delta)
+        # exponentially better than the linear chain's n-2
+        assert ival < 126 / 4
+
+    def test_uniform_chain_wasteful_but_bounded(self):
+        """Section 5.3's observation: A_gen pays ~sqrt(Delta) on the uniform
+        chain although O(1) is possible."""
+        pos = uniform_chain(150, spacing=0.01)
+        delta = unit_disk_graph(pos).max_degree()
+        ival = graph_interference(a_gen(pos, delta=delta))
+        assert ival >= 0.5 * math.sqrt(delta)  # genuinely pays the price
+        assert ival <= 3.0 * math.sqrt(delta)

@@ -1,0 +1,47 @@
+"""Tests for the closed-form bounds of Section 5."""
+
+import math
+
+import pytest
+
+from repro.highway.bounds import (
+    aexp_interference_bound,
+    exp_chain_lower_bound,
+    optimal_lower_bound_from_gamma,
+)
+
+
+class TestBounds:
+    def test_lower_bound_sqrt(self):
+        assert exp_chain_lower_bound(16) == 4.0
+        assert exp_chain_lower_bound(2) == pytest.approx(math.sqrt(2))
+
+    def test_aexp_bound_solves_recurrence(self):
+        """n = I^2/2 - I/2 + 2 must invert: bound(n(I)) == I."""
+        for i in range(2, 40):
+            n = i * i / 2 - i / 2 + 2
+            assert aexp_interference_bound(int(n)) == pytest.approx(i, abs=1e-9)
+
+    def test_aexp_bound_monotone(self):
+        values = [aexp_interference_bound(n) for n in range(2, 200)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_aexp_bound_dominates_lower_bound_asymptotically(self):
+        # upper bound ~ sqrt(2n) > lower bound sqrt(n)
+        for n in (16, 64, 256, 1024):
+            assert aexp_interference_bound(n) > exp_chain_lower_bound(n)
+
+    def test_gamma_lower_bound(self):
+        assert optimal_lower_bound_from_gamma(8) == 2.0
+        assert optimal_lower_bound_from_gamma(0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            exp_chain_lower_bound(0)
+        with pytest.raises(ValueError):
+            aexp_interference_bound(-1)
+        with pytest.raises(ValueError):
+            optimal_lower_bound_from_gamma(-1)
+
+    def test_tiny_n(self):
+        assert aexp_interference_bound(1) == 0.0

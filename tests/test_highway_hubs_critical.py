@@ -1,0 +1,81 @@
+"""Tests for hub identification (Def 5.1) and critical sets (Def 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import exponential_chain, random_highway, uniform_chain
+from repro.highway.critical import critical_set, gamma, gamma_of_chain
+from repro.highway.hubs import hub_indices, is_hub
+from repro.highway.linear import linear_chain
+from repro.interference.receiver import node_interference
+from repro.model.topology import Topology
+
+
+class TestHubs:
+    def test_linear_chain_all_but_rightmost(self):
+        t = linear_chain(exponential_chain(6))
+        hubs = hub_indices(t)
+        np.testing.assert_array_equal(hubs, [0, 1, 2, 3, 4])
+        assert not is_hub(t, 5)
+        assert is_hub(t, 0)
+
+    def test_star_to_the_left(self):
+        """A node whose edges all point left is not a hub."""
+        pos = np.array([0.0, 1.0, 2.0])
+        t = Topology(pos, [(2, 0), (2, 1)])
+        hubs = hub_indices(t)
+        np.testing.assert_array_equal(hubs, [0, 1])
+
+    def test_empty_topology(self):
+        t = Topology.empty(np.array([0.0, 1.0]))
+        assert hub_indices(t).size == 0
+
+    def test_only_hubs_interfere_with_leftmost(self):
+        """The structural fact behind Theorem 5.2: on the exponential chain
+        the leftmost node is covered exactly by hubs (except itself)."""
+        from repro.highway.a_exp import a_exp
+
+        pos = exponential_chain(40)
+        t = a_exp(pos)
+        hubs = set(map(int, hub_indices(t)))
+        r = t.radii
+        x = t.positions[:, 0]
+        coverers = {
+            u for u in range(1, 40) if x[u] - x[0] <= r[u] * (1 + 1e-9)
+        }
+        assert coverers <= hubs
+
+
+class TestCriticalSets:
+    def test_gamma_equals_linear_interference(self):
+        for pos in (
+            exponential_chain(20),
+            uniform_chain(25, spacing=0.1),
+            random_highway(30, max_gap=0.5, seed=2),
+        ):
+            chain = linear_chain(pos)
+            assert gamma(pos) == int(node_interference(chain).max())
+
+    def test_literal_definition_agrees(self):
+        pos = random_highway(25, max_gap=0.4, seed=9)
+        chain = linear_chain(pos)
+        vec = node_interference(chain)
+        for v in range(25):
+            assert critical_set(pos, v).size == vec[v]
+
+    def test_exponential_chain_gamma(self):
+        # on the exponential chain G_lin has interference n-2 at the leftmost
+        n = 16
+        assert gamma(exponential_chain(n)) == n - 2
+
+    def test_uniform_chain_gamma_constant(self):
+        assert gamma(uniform_chain(100, spacing=0.009)) == 2
+
+    def test_gamma_of_chain_shortcut(self):
+        pos = random_highway(20, max_gap=0.3, seed=4)
+        assert gamma_of_chain(linear_chain(pos)) == gamma(pos)
+
+    def test_critical_set_excludes_self(self):
+        pos = exponential_chain(10)
+        for v in (0, 5, 9):
+            assert v not in critical_set(pos, v)

@@ -1,0 +1,52 @@
+"""Tests for the linear chain and highway ordering."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import exponential_chain, random_highway
+from repro.highway.linear import highway_order, linear_chain
+
+
+class TestHighwayOrder:
+    def test_sorted_input_identity(self):
+        pos = random_highway(20, max_gap=0.5, seed=1)
+        np.testing.assert_array_equal(highway_order(pos), np.arange(20))
+
+    def test_shuffled_recovers_order(self, rng):
+        pos = random_highway(20, max_gap=0.5, seed=1)
+        perm = rng.permutation(20)
+        order = highway_order(pos[perm])
+        np.testing.assert_array_equal(pos[perm][order][:, 0], pos[:, 0])
+
+    def test_ties_broken_by_y_then_index(self):
+        pos = np.array([[0.0, 1.0], [0.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_array_equal(highway_order(pos), [1, 0, 2])
+
+
+class TestLinearChain:
+    def test_consecutive_edges(self):
+        pos = exponential_chain(6)
+        t = linear_chain(pos)
+        assert t.n_edges == 5
+        for i in range(5):
+            assert t.has_edge(i, i + 1)
+
+    def test_unit_cut(self):
+        pos = np.array([0.0, 0.5, 2.0, 2.5])  # gap 1.5 exceeds the unit range
+        t = linear_chain(pos, unit=1.0)
+        assert t.n_edges == 2
+        assert not t.has_edge(1, 2)
+
+    def test_unshuffled_equivalence(self, rng):
+        pos = random_highway(15, max_gap=0.6, seed=4)
+        perm = rng.permutation(15)
+        t_orig = linear_chain(pos)
+        t_perm = linear_chain(pos[perm])
+        # same multiset of edge lengths regardless of input order
+        np.testing.assert_allclose(
+            np.sort(t_orig.edge_lengths), np.sort(t_perm.edge_lengths)
+        )
+
+    def test_single_node(self):
+        t = linear_chain(np.array([[1.0, 0.0]]))
+        assert t.n_edges == 0

@@ -1,0 +1,74 @@
+"""Tests for the localized interference computation and average measure."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import exponential_chain, random_udg_connected
+from repro.highway.linear import linear_chain
+from repro.interference.localized import localized_interference, message_rounds_required
+from repro.interference.receiver import average_interference, node_interference
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+from repro.topologies import ALGORITHMS, build
+
+
+class TestLocalized:
+    @pytest.mark.parametrize("name", ["emst", "rng", "lmst", "xtc", "life"])
+    def test_matches_global_on_udg_subtopologies(self, connected_udg, name):
+        """The locality theorem-let: in a UDG subtopology, every interferer
+        is a one-hop UDG neighbour, so the localized count is exact."""
+        t = build(name, connected_udg)
+        np.testing.assert_array_equal(
+            localized_interference(connected_udg, t), node_interference(t)
+        )
+
+    def test_exponential_chain(self):
+        pos = exponential_chain(25)
+        udg = unit_disk_graph(pos)
+        chain = linear_chain(pos)
+        np.testing.assert_array_equal(
+            localized_interference(udg, chain), node_interference(chain)
+        )
+
+    def test_rejects_non_subgraph(self, connected_udg):
+        # an edge longer than the unit range is not in the UDG
+        pos = connected_udg.positions
+        d = np.hypot(*(pos[:, None, :] - pos[None, :, :]).T)
+        far = np.argwhere(d > 1.5)
+        assert far.size, "fixture should contain a far pair"
+        a, b = map(int, far[0])
+        bad = Topology(pos, [(a, b)])
+        with pytest.raises(ValueError, match="not a subgraph"):
+            localized_interference(connected_udg, bad)
+
+    def test_rejects_mismatched_nodes(self, connected_udg):
+        other = Topology(np.zeros((3, 2)), ())
+        with pytest.raises(ValueError, match="share the node set"):
+            localized_interference(connected_udg, other)
+
+    def test_rounds_constant(self):
+        assert message_rounds_required() == 2
+
+
+class TestAverageInterference:
+    def test_average_of_path(self, path_topology):
+        vec = node_interference(path_topology)
+        assert average_interference(path_topology) == pytest.approx(vec.mean())
+
+    def test_empty(self):
+        assert average_interference(Topology.empty(np.zeros((0, 2)))) == 0.0
+
+    def test_at_most_max(self, connected_udg):
+        for name in ALGORITHMS:
+            t = build(name, connected_udg)
+            from repro.interference.receiver import graph_interference
+
+            assert average_interference(t) <= graph_interference(t)
+
+    def test_double_counting_identity(self, connected_udg):
+        """avg interference == avg footprint (disturbances are pairs)."""
+        from repro.interference.receiver import coverage_counts
+
+        t = build("emst", connected_udg)
+        interferers, covered = coverage_counts(t)
+        assert average_interference(t) == pytest.approx(covered.mean())

@@ -1,0 +1,84 @@
+"""Tests for node-addition/removal robustness reports."""
+
+import numpy as np
+import pytest
+
+from repro.interference.receiver import node_interference
+from repro.interference.robustness import addition_report, removal_report
+from repro.model.topology import Topology
+
+
+@pytest.fixture
+def line_topology():
+    pos = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+    return Topology(pos, [(0, 1), (1, 2)])
+
+
+class TestAdditionReport:
+    def test_after_contains_new_node(self, line_topology):
+        rep = addition_report(line_topology, (3.0, 0.0), [2])
+        assert rep.after.n == 4
+        assert rep.after.has_edge(2, 3)
+
+    def test_before_vectors_match_direct_computation(self, line_topology):
+        rep = addition_report(line_topology, (3.0, 0.0), [2])
+        np.testing.assert_array_equal(
+            rep.receiver_before, node_interference(line_topology)
+        )
+        np.testing.assert_array_equal(
+            rep.receiver_after, node_interference(rep.after)[:3]
+        )
+
+    def test_new_disk_contribution_at_most_one(self, line_topology):
+        rep = addition_report(line_topology, (2.5, 0.0), [2])
+        assert rep.new_node_contribution.max() <= 1
+
+    def test_delta_decomposition(self, line_topology):
+        """receiver delta == new-node disk + radius growth, exactly."""
+        rep = addition_report(line_topology, (4.0, 0.0), [2])
+        np.testing.assert_array_equal(
+            rep.receiver_delta,
+            rep.new_node_contribution + rep.radius_growth_contribution,
+        )
+
+    def test_attachment_radius_growth_tracked(self, line_topology):
+        # far new node forces node 2's radius from 1 to 2, newly covering 0
+        rep = addition_report(line_topology, (4.0, 0.0), [2])
+        assert rep.radius_growth_contribution[0] == 1
+
+    def test_no_growth_when_attachment_close(self, line_topology):
+        rep = addition_report(line_topology, (2.5, 0.0), [2])
+        assert rep.radius_growth_contribution.sum() == 0
+
+    def test_sender_jump_on_long_edge(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 1, size=(15, 2))
+        from repro.graphs.mst import euclidean_mst_edges
+
+        t = Topology(pos, euclidean_mst_edges(pos))
+        rep = addition_report(t, (30.0, 0.5), [0])
+        assert rep.sender_after >= 14  # the long edge covers the cluster
+        assert rep.max_receiver_delta <= 2
+
+    def test_multiple_attachments(self, line_topology):
+        rep = addition_report(line_topology, (1.0, 1.0), [0, 1, 2])
+        assert rep.after.degrees[3] == 3
+        assert rep.meta["attach_to"] == [0, 1, 2]
+
+
+class TestRemovalReport:
+    def test_survivor_arrays(self, line_topology):
+        out = removal_report(line_topology, 1)
+        assert out["receiver_before"].shape == (2,)
+        assert out["receiver_after"].shape == (2,)
+        assert out["connected_after"] is False  # middle node removal splits
+
+    def test_leaf_removal_keeps_connectivity(self, line_topology):
+        out = removal_report(line_topology, 2)
+        assert out["connected_after"] is True
+
+    def test_removal_can_only_reduce_total_interference_sources(self, line_topology):
+        """Removing a node cannot increase interference at survivors when
+        it was a leaf (no other node's radius changes)."""
+        out = removal_report(line_topology, 2)
+        assert np.all(out["receiver_after"] <= out["receiver_before"])

@@ -1,0 +1,68 @@
+"""Tests for the sender-centric (Burkhart [2]) baseline measure."""
+
+import numpy as np
+import pytest
+
+from repro.interference.sender import edge_coverage, sender_interference
+from repro.model.topology import Topology
+
+
+class TestEdgeCoverage:
+    def test_lone_edge_zero_coverage(self):
+        t = Topology(np.array([[0.0, 0.0], [1.0, 0.0]]), [(0, 1)])
+        assert edge_coverage(t).tolist() == [0]
+
+    def test_endpoints_convention(self):
+        t = Topology(np.array([[0.0, 0.0], [1.0, 0.0]]), [(0, 1)])
+        assert edge_coverage(t, include_endpoints=True).tolist() == [2]
+
+    def test_third_node_in_disk(self):
+        # w sits within distance |uv| of u
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [-0.5, 0.0]])
+        t = Topology(pos, [(0, 1)])
+        assert edge_coverage(t).tolist() == [1]
+
+    def test_node_outside_both_disks(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+        t = Topology(pos, [(0, 1)])
+        assert edge_coverage(t).tolist() == [0]
+
+    def test_long_edge_covers_cluster(self):
+        """The Figure 1 phenomenon: the connecting edge covers everyone."""
+        rng = np.random.default_rng(0)
+        cluster = rng.uniform(-0.05, 0.05, size=(20, 2))
+        pos = np.vstack([cluster, [[1.0, 0.0]]])
+        t = Topology(pos, [(0, 20)])
+        assert edge_coverage(t)[0] == 19
+
+    def test_empty(self):
+        t = Topology.empty(np.zeros((3, 2)))
+        assert edge_coverage(t).shape == (0,)
+
+
+class TestSenderInterference:
+    def test_aggregations(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [1.5, 0.0], [9.0, 0.0]])
+        t = Topology(pos, [(0, 1), (1, 2)])
+        cov = edge_coverage(t)
+        assert sender_interference(t, agg="max") == cov.max()
+        assert sender_interference(t, agg="mean") == pytest.approx(cov.mean())
+        assert sender_interference(t, agg="sum") == cov.sum()
+
+    def test_unknown_agg(self, path_topology):
+        with pytest.raises(ValueError):
+            sender_interference(path_topology, agg="median")
+
+    def test_edge_free_topology_zero(self):
+        t = Topology.empty(np.zeros((4, 2)))
+        assert sender_interference(t) == 0.0
+
+    def test_life_minimises_sender_measure(self, connected_udg):
+        """LIFE is coverage-optimal among connectivity-preserving topologies:
+        no spanning structure can have a smaller max edge coverage, and in
+        particular it beats or ties the EMST."""
+        from repro.topologies import build
+
+        life = sender_interference(build("life", connected_udg))
+        emst = sender_interference(build("emst", connected_udg))
+        assert life <= emst

@@ -1,0 +1,37 @@
+"""Tests for the traffic-weighted interference variant."""
+
+import numpy as np
+import pytest
+
+from repro.interference.receiver import node_interference
+from repro.interference.traffic import traffic_interference
+
+
+class TestTrafficInterference:
+    def test_unit_loads_reduce_to_definition(self, path_topology):
+        weighted = traffic_interference(path_topology, np.ones(5))
+        np.testing.assert_allclose(weighted, node_interference(path_topology))
+
+    def test_zero_loads(self, path_topology):
+        out = traffic_interference(path_topology, np.zeros(5))
+        assert np.all(out == 0.0)
+
+    def test_scaling_linear(self, path_topology):
+        base = traffic_interference(path_topology, np.ones(5))
+        double = traffic_interference(path_topology, 2 * np.ones(5))
+        np.testing.assert_allclose(double, 2 * base)
+
+    def test_single_loud_node(self, path_topology):
+        loads = np.zeros(5)
+        loads[2] = 10.0
+        out = traffic_interference(path_topology, loads)
+        # node 2 covers its unit-distance neighbours 1 and 3 only
+        np.testing.assert_allclose(out, [0, 10, 0, 10, 0])
+
+    def test_shape_validation(self, path_topology):
+        with pytest.raises(ValueError):
+            traffic_interference(path_topology, np.ones(3))
+
+    def test_negative_rejected(self, path_topology):
+        with pytest.raises(ValueError):
+            traffic_interference(path_topology, [-1.0, 0, 0, 0, 0])

@@ -1,0 +1,106 @@
+"""Tests for the random-waypoint mobility model and topology timeline."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import RandomWaypointModel, TopologyTimeline, edge_churn
+from repro.model.topology import Topology
+from repro.topologies import build
+
+
+class TestRandomWaypoint:
+    def test_positions_stay_in_arena(self):
+        model = RandomWaypointModel(20, side=4.0, seed=1)
+        frames = model.trajectory(50, dt=1.0)
+        assert frames.min() >= 0.0 and frames.max() <= 4.0
+
+    def test_trajectory_shape_and_t0(self):
+        model = RandomWaypointModel(10, side=3.0, seed=2)
+        start = model.positions_at()
+        frames = model.trajectory(5, dt=0.5)
+        assert frames.shape == (6, 10, 2)
+        np.testing.assert_array_equal(frames[0], start)
+
+    def test_speed_bound_respected(self):
+        model = RandomWaypointModel(15, side=5.0, v_min=0.1, v_max=0.3, seed=3)
+        frames = model.trajectory(30, dt=1.0)
+        step_dist = np.hypot(*(np.diff(frames, axis=0).transpose(2, 0, 1)))
+        assert step_dist.max() <= 0.3 + 1e-9
+
+    def test_nodes_actually_move(self):
+        model = RandomWaypointModel(10, side=5.0, seed=4)
+        frames = model.trajectory(10, dt=1.0)
+        assert np.abs(frames[-1] - frames[0]).max() > 0.0
+
+    def test_pause_slows_progress(self):
+        a = RandomWaypointModel(10, side=5.0, pause=0.0, seed=5)
+        b = RandomWaypointModel(10, side=5.0, pause=5.0, seed=5)
+        da = np.abs(a.trajectory(20, dt=1.0)[-1] - a.trajectory(0, dt=1)[0]).sum()
+        db = np.abs(b.trajectory(20, dt=1.0)[-1] - b.trajectory(0, dt=1)[0]).sum()
+        # identical seeds, but pausing at each waypoint covers less ground
+        assert db <= da + 1e-9
+
+    def test_deterministic(self):
+        a = RandomWaypointModel(8, side=2.0, seed=6).trajectory(10, dt=0.5)
+        b = RandomWaypointModel(8, side=2.0, seed=6).trajectory(10, dt=0.5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_time_advances(self):
+        model = RandomWaypointModel(5, side=2.0, seed=7)
+        model.step(2.5)
+        assert model.time == pytest.approx(2.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(0)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(3, v_min=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(3, v_min=0.5, v_max=0.1)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(3, pause=-1.0)
+        model = RandomWaypointModel(3)
+        with pytest.raises(ValueError):
+            model.step(-1.0)
+
+
+class TestEdgeChurn:
+    def test_identical_zero(self, path_topology):
+        assert edge_churn(path_topology, path_topology) == 0
+
+    def test_symmetric_difference(self, path_topology):
+        other = path_topology.without_edges([(0, 1)]).with_edges([(0, 2)])
+        assert edge_churn(path_topology, other) == 2
+
+    def test_size_mismatch(self, path_topology):
+        with pytest.raises(ValueError):
+            edge_churn(path_topology, Topology(np.zeros((2, 2)), ()))
+
+
+class TestTimeline:
+    def test_series_shapes(self):
+        model = RandomWaypointModel(25, side=4.0, seed=9)
+        frames = model.trajectory(8, dt=1.0)
+        result = TopologyTimeline(lambda udg: build("emst", udg)).run(frames, dt=1.0)
+        assert result.receiver_interference.shape == (9,)
+        assert result.churn.shape == (8,)
+        assert result.connected.shape == (9,)
+        np.testing.assert_allclose(result.times, np.arange(9.0))
+
+    def test_connectivity_tracked_per_frame(self):
+        """Dense arena: the algorithm must preserve connectivity whenever
+        the UDG is connected (flag true per frame)."""
+        model = RandomWaypointModel(30, side=3.0, seed=10)
+        frames = model.trajectory(5, dt=1.0)
+        result = TopologyTimeline(lambda udg: build("lmst", udg)).run(frames)
+        assert result.connected.all()
+
+    def test_identity_algorithm_full_udg(self):
+        model = RandomWaypointModel(15, side=3.0, seed=11)
+        frames = model.trajectory(3, dt=1.0)
+        result = TopologyTimeline(lambda udg: udg).run(frames)
+        assert result.connected.all()
+
+    def test_bad_frames(self):
+        with pytest.raises(ValueError):
+            TopologyTimeline(lambda udg: udg).run(np.zeros((3, 2)))

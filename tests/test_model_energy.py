@@ -1,0 +1,32 @@
+"""Tests for transmission-energy models."""
+
+import numpy as np
+import pytest
+
+from repro.model.energy import max_transmit_radius, total_transmit_energy
+from repro.model.topology import Topology
+
+
+class TestEnergy:
+    def test_path_alpha2(self, path_topology):
+        # five nodes, all radii 1
+        assert total_transmit_energy(path_topology, alpha=2.0) == pytest.approx(5.0)
+
+    def test_alpha_scaling(self):
+        pos = np.array([[0.0, 0.0], [2.0, 0.0]])
+        t = Topology(pos, [(0, 1)])
+        assert total_transmit_energy(t, alpha=2.0) == pytest.approx(8.0)
+        assert total_transmit_energy(t, alpha=4.0) == pytest.approx(32.0)
+
+    def test_invalid_alpha(self, path_topology):
+        with pytest.raises(ValueError):
+            total_transmit_energy(path_topology, alpha=0.0)
+
+    def test_max_radius(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [4.0, 0.0]])
+        t = Topology(pos, [(0, 1), (1, 2)])
+        assert max_transmit_radius(t) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert max_transmit_radius(Topology.empty(np.zeros((0, 2)))) == 0.0
+        assert total_transmit_energy(Topology.empty(np.zeros((3, 2)))) == 0.0

@@ -1,0 +1,117 @@
+"""Tests for the Topology abstraction (Section 3 model)."""
+
+import numpy as np
+import pytest
+
+from repro.model.topology import Topology
+
+
+class TestRadii:
+    def test_radius_is_farthest_neighbor(self, path_topology):
+        # interior nodes reach distance-1 neighbours on both sides
+        np.testing.assert_allclose(path_topology.radii, [1, 1, 1, 1, 1])
+
+    def test_asymmetric_star(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [-3.0, 0.0]])
+        t = Topology(pos, [(0, 1), (0, 2)])
+        np.testing.assert_allclose(t.radii, [3.0, 1.0, 3.0])
+
+    def test_isolated_node_zero_radius(self):
+        t = Topology(np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]]), [(0, 1)])
+        assert t.radii[2] == 0.0
+
+    def test_empty_topology(self):
+        t = Topology.empty(np.zeros((3, 2)))
+        assert np.all(t.radii == 0.0)
+        assert t.n_edges == 0
+
+    def test_radii_readonly(self, path_topology):
+        with pytest.raises(ValueError):
+            path_topology.radii[0] = 99.0
+
+
+class TestStructure:
+    def test_degrees(self, path_topology):
+        np.testing.assert_array_equal(path_topology.degrees, [1, 2, 2, 2, 1])
+
+    def test_neighbors(self, path_topology):
+        assert path_topology.neighbors(2) == frozenset({1, 3})
+
+    def test_has_edge_symmetric(self, path_topology):
+        assert path_topology.has_edge(0, 1) and path_topology.has_edge(1, 0)
+        assert not path_topology.has_edge(0, 2)
+
+    def test_edge_lengths(self, path_topology):
+        np.testing.assert_allclose(path_topology.edge_lengths, np.ones(4))
+
+    def test_max_degree(self, path_topology):
+        assert path_topology.max_degree() == 2
+
+    def test_dedup_and_canonical(self):
+        t = Topology(np.zeros((3, 2)) + np.arange(3)[:, None], [(1, 0), (0, 1)])
+        assert t.n_edges == 1
+        assert t.edges.tolist() == [[0, 1]]
+
+    def test_as_graph_weights_are_lengths(self, path_topology):
+        g = path_topology.as_graph()
+        assert g.weight(0, 1) == pytest.approx(1.0)
+
+    def test_connectivity(self, path_topology):
+        assert path_topology.is_connected()
+        assert not path_topology.without_edges([(2, 3)]).is_connected()
+
+    def test_is_subgraph_of(self, path_topology):
+        sub = path_topology.without_edges([(0, 1)])
+        assert sub.is_subgraph_of(path_topology)
+        assert not path_topology.is_subgraph_of(sub)
+
+    def test_contains_edges(self, path_topology):
+        assert path_topology.contains_edges([(1, 0), (3, 4)])
+        assert not path_topology.contains_edges([(0, 4)])
+
+
+class TestDerivedTopologies:
+    def test_with_edges(self, path_topology):
+        t = path_topology.with_edges([(0, 4)])
+        assert t.has_edge(0, 4)
+        assert t.n_edges == 5
+        # original unchanged (immutability)
+        assert not path_topology.has_edge(0, 4)
+
+    def test_without_missing_edges_ignored(self, path_topology):
+        t = path_topology.without_edges([(0, 4)])
+        assert t.n_edges == 4
+
+    def test_add_node(self, path_topology):
+        t = path_topology.add_node((5.0, 0.0), attach_to=[4])
+        assert t.n == 6
+        assert t.has_edge(4, 5)
+        assert t.radii[5] == pytest.approx(1.0)
+
+    def test_add_node_no_attachments(self, path_topology):
+        t = path_topology.add_node((9.0, 9.0))
+        assert t.n == 6 and t.degrees[5] == 0
+
+    def test_remove_node_renumbers(self, path_topology):
+        t = path_topology.remove_node(2)
+        assert t.n == 4
+        # edges (0,1) and (2,3) survive under new numbering: 3->2, 4->3
+        assert t.has_edge(0, 1) and t.has_edge(2, 3)
+        assert t.n_edges == 2
+
+    def test_remove_node_out_of_range(self, path_topology):
+        with pytest.raises(ValueError):
+            path_topology.remove_node(5)
+
+    def test_equality(self, path_topology):
+        same = Topology(path_topology.positions, path_topology.edges)
+        assert path_topology == same
+        assert path_topology != path_topology.without_edges([(0, 1)])
+
+    def test_unhashable(self, path_topology):
+        with pytest.raises(TypeError):
+            hash(path_topology)
+
+    def test_1d_positions_accepted(self):
+        t = Topology([0.0, 1.0, 3.0], [(0, 1)])
+        assert t.positions.shape == (3, 2)

@@ -1,0 +1,54 @@
+"""Tests for unit disk graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import distance_matrix
+from repro.model.udg import udg_max_degree, unit_disk_graph
+
+
+class TestUnitDiskGraph:
+    def test_edge_iff_within_unit(self, random_positions):
+        udg = unit_disk_graph(random_positions, unit=1.0)
+        d = distance_matrix(random_positions)
+        n = len(random_positions)
+        expected = {
+            (i, j) for i in range(n) for j in range(i + 1, n) if d[i, j] <= 1.0
+        }
+        assert {tuple(e) for e in udg.edges} == expected
+
+    def test_brute_and_grid_agree(self, random_positions):
+        a = unit_disk_graph(random_positions, method="brute")
+        b = unit_disk_graph(random_positions, method="grid")
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_unit_parameter(self, random_positions):
+        small = unit_disk_graph(random_positions, unit=0.5)
+        large = unit_disk_graph(random_positions, unit=2.0)
+        assert small.n_edges < large.n_edges
+        assert small.is_subgraph_of(large)
+
+    def test_boundary_distance_included(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert unit_disk_graph(pos, unit=1.0).n_edges == 1
+
+    def test_invalid_unit(self, random_positions):
+        with pytest.raises(ValueError):
+            unit_disk_graph(random_positions, unit=0.0)
+
+    def test_invalid_method(self, random_positions):
+        with pytest.raises(ValueError, match="method"):
+            unit_disk_graph(random_positions, method="magic")
+
+    def test_max_degree(self, random_positions):
+        udg = unit_disk_graph(random_positions)
+        assert udg_max_degree(random_positions) == udg.max_degree()
+
+    def test_normalized_exponential_chain_is_complete(self):
+        """The paper's assumption: the whole chain fits in one unit range."""
+        from repro.geometry.generators import exponential_chain
+
+        n = 12
+        udg = unit_disk_graph(exponential_chain(n))
+        assert udg.n_edges == n * (n - 1) // 2
+        assert udg.max_degree() == n - 1

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.generators import random_highway
+from repro.highway.a_apx import a_apx
+from repro.highway.a_exp import a_exp
+from repro.highway.a_gen import a_gen
+from repro.highway.critical import gamma
+from repro.interference.receiver import (
+    graph_interference,
+    node_interference,
+    node_interference_naive,
+)
+from repro.interference.robustness import addition_report
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+
+positions_strategy = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 12), st.just(2)),
+    elements=st.floats(-5.0, 5.0, allow_nan=False, width=64),
+)
+
+
+def _random_subtopology(pos: np.ndarray, bits: int) -> Topology:
+    """Deterministic pseudo-random subset of the complete graph."""
+    n = pos.shape[0]
+    edges = []
+    k = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (bits >> (k % 63)) & 1:
+                edges.append((i, j))
+            k += 1
+    return Topology(pos, np.array(edges, dtype=np.int64).reshape(-1, 2))
+
+
+@given(positions_strategy, st.integers(0, 2**63 - 1))
+@settings(max_examples=60, deadline=None)
+def test_vectorized_matches_naive(pos, bits):
+    """The chunked numpy kernel agrees with the pure-Python definition."""
+    t = _random_subtopology(pos, bits)
+    np.testing.assert_array_equal(node_interference(t), node_interference_naive(t))
+
+
+@given(positions_strategy, st.integers(0, 2**63 - 1))
+@settings(max_examples=60, deadline=None)
+def test_interference_at_least_degree(pos, bits):
+    """Every neighbour covers you: I(v) >= deg(v) (Section 3)."""
+    t = _random_subtopology(pos, bits)
+    assert np.all(node_interference(t) >= t.degrees)
+
+
+@given(positions_strategy, st.integers(0, 2**63 - 1))
+@settings(max_examples=40, deadline=None)
+def test_adding_edges_monotone(pos, bits):
+    """Adding an edge never decreases any node's interference."""
+    t = _random_subtopology(pos, bits)
+    n = t.n
+    # add the (0, n-1) edge if absent
+    assume(not t.has_edge(0, n - 1))
+    assume(not np.allclose(pos[0], pos[n - 1]))
+    bigger = t.with_edges([(0, n - 1)])
+    assert np.all(node_interference(bigger) >= node_interference(t))
+
+
+@given(
+    positions_strategy,
+    st.integers(0, 2**63 - 1),
+    st.floats(-4.0, 4.0),
+    st.floats(-4.0, 4.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_new_node_disk_adds_at_most_one(pos, bits, x, y):
+    """The paper's robustness property: the arriving node's own disk raises
+    interference at any existing node by at most 1."""
+    t = _random_subtopology(pos, bits)
+    report = addition_report(t, (x, y), [0])
+    assert report.new_node_contribution.max(initial=0) <= 1
+    np.testing.assert_array_equal(
+        report.receiver_delta,
+        report.new_node_contribution + report.radius_growth_contribution,
+    )
+
+
+@given(st.integers(2, 60), st.floats(0.05, 1.0), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_highway_algorithms_preserve_connectivity(n, max_gap, seed):
+    pos = random_highway(n, max_gap=max_gap, seed=seed)
+    udg = unit_disk_graph(pos)
+    for algo in (a_exp, a_gen, a_apx):
+        topo = algo(pos) if algo is a_exp else algo(pos, unit=1.0)
+        if algo is a_exp:
+            # a_exp ignores the unit range: always a spanning tree
+            assert topo.is_connected()
+        else:
+            assert topo.is_connected() == udg.is_connected()
+            assert topo.is_subgraph_of(udg)
+
+
+@given(st.integers(2, 40), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_agen_sqrt_delta_bound(n, seed):
+    pos = random_highway(n, max_gap=0.3, seed=seed)
+    delta = unit_disk_graph(pos).max_degree()
+    assume(delta > 0)
+    ival = graph_interference(a_gen(pos, delta=delta))
+    assert ival <= 3.0 * math.sqrt(delta) + 1
+
+
+@given(st.integers(3, 40), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_gamma_lower_bounds_respected_by_linear(n, seed):
+    """gamma is by definition the linear chain's interference; Lemma 5.5's
+    bound sqrt(gamma/2) must never exceed it."""
+    pos = random_highway(n, max_gap=0.6, seed=seed)
+    g = gamma(pos)
+    assert math.sqrt(g / 2.0) <= g or g == 0
+
+
+@given(positions_strategy, st.integers(0, 2**63 - 1))
+@settings(max_examples=40, deadline=None)
+def test_radii_are_max_incident_length(pos, bits):
+    t = _random_subtopology(pos, bits)
+    for u in range(t.n):
+        nbrs = t.neighbors(u)
+        if not nbrs:
+            assert t.radii[u] == 0.0
+        else:
+            expect = max(
+                float(np.hypot(*(t.positions[u] - t.positions[v]))) for v in nbrs
+            )
+            assert t.radii[u] == expect
+
+
+@given(st.integers(2, 30), st.floats(0.05, 0.9), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_udg_symmetric_and_unit_bounded(n, max_gap, seed):
+    pos = random_highway(n, max_gap=max_gap, seed=seed)
+    udg = unit_disk_graph(pos)
+    if udg.n_edges:
+        assert udg.edge_lengths.max() <= 1.0
+    # consecutive nodes within the unit range must be adjacent
+    x = pos[:, 0]
+    for i in range(n - 1):
+        if x[i + 1] - x[i] <= 1.0:
+            assert udg.has_edge(i, i + 1)

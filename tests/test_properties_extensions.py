@@ -1,0 +1,128 @@
+"""Property-based tests for the extension subsystems."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import DistributedNnf, DistributedXtc, SynchronousNetwork
+from repro.extensions.a_gen_2d import a_gen_2d
+from repro.geometry.generators import random_highway, random_uniform_square
+from repro.graphs.traversal import connected_components
+from repro.interference.incremental import InterferenceTracker
+from repro.interference.localized import localized_interference
+from repro.interference.receiver import node_interference
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+from repro.sim.scheduling import greedy_tdma_schedule, validate_schedule
+from repro.topologies import build
+
+
+@given(st.integers(2, 25), st.integers(0, 10_000), st.integers(1, 50))
+@settings(max_examples=30, deadline=None)
+def test_tracker_random_update_sequences(n, seed, n_updates):
+    """Arbitrary grow/shrink/deactivate sequences stay consistent with a
+    from-scratch recount."""
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 3, size=(n, 2))
+    tracker = InterferenceTracker(pos)
+    radii = np.zeros(n)
+    active = np.zeros(n, dtype=bool)
+    for _ in range(n_updates):
+        u = int(rng.integers(n))
+        if active[u] and rng.random() < 0.2:
+            tracker.deactivate(u)
+            radii[u] = 0.0
+            active[u] = False
+        else:
+            r = float(rng.uniform(0, 3))
+            tracker.set_radius(u, r)
+            radii[u] = r
+            active[u] = True
+    counts = np.zeros(n, dtype=np.int64)
+    for u in range(n):
+        if not active[u]:
+            continue
+        d = np.hypot(*(pos - pos[u]).T)
+        mask = d <= radii[u] * (1 + 1e-9)
+        mask[u] = False
+        counts[mask] += 1
+    np.testing.assert_array_equal(tracker.node_interference(), counts)
+
+
+@given(st.integers(2, 25), st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_tracker_peek_is_side_effect_free(n, seed):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 2, size=(n, 2))
+    tracker = InterferenceTracker(pos, radii=rng.uniform(0, 1, size=n))
+    before = tracker.node_interference()
+    peeked = tracker.peek_max_after([(0, 5.0), (n - 1, 0.1)])
+    np.testing.assert_array_equal(tracker.node_interference(), before)
+    # applying the changes must reproduce the peeked value
+    tracker.set_radius(0, 5.0)
+    tracker.set_radius(n - 1, 0.1)
+    assert tracker.graph_interference() == peeked
+
+
+@given(st.integers(2, 30), st.integers(0, 10_000), st.floats(1.5, 6.0))
+@settings(max_examples=25, deadline=None)
+def test_a_gen_2d_component_preservation(n, seed, side):
+    pos = random_uniform_square(n, side=side, seed=seed)
+    udg = unit_disk_graph(pos)
+    out = a_gen_2d(pos)
+    assert out.is_subgraph_of(udg)
+    assert connected_components(out.as_graph(weighted=False)) == connected_components(
+        udg.as_graph(weighted=False)
+    )
+
+
+@given(st.integers(2, 25), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_tdma_schedule_always_valid(n, seed):
+    pos = random_uniform_square(n, side=2.5, seed=seed)
+    udg = unit_disk_graph(pos)
+    topo = build("emst", udg)
+    colors = greedy_tdma_schedule(topo)
+    assert validate_schedule(topo, colors)
+    assert colors.min() >= 0
+
+
+@given(st.integers(3, 25), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_localized_equals_global(n, seed):
+    pos = random_uniform_square(n, side=2.0, seed=seed)
+    udg = unit_disk_graph(pos)
+    assume(udg.n_edges > 0)
+    for name in ("nnf", "emst"):
+        topo = build(name, udg)
+        np.testing.assert_array_equal(
+            localized_interference(udg, topo), node_interference(topo)
+        )
+
+
+@given(st.integers(2, 22), st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_distributed_equals_centralized(n, seed):
+    pos = random_uniform_square(n, side=2.2, seed=seed)
+    udg = unit_disk_graph(pos)
+    net = SynchronousNetwork(udg)
+    for proto, name in ((DistributedNnf(), "nnf"), (DistributedXtc(), "xtc")):
+        res = net.run(proto)
+        assert np.array_equal(res.topology.edges, build(name, udg).edges)
+
+
+@given(st.integers(2, 40), st.floats(0.05, 1.0), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_gather_tree_reaches_whole_component(n, max_gap, seed):
+    from repro.extensions.gathering import low_interference_gather_tree
+
+    pos = random_highway(n, max_gap=max_gap, seed=seed)
+    udg = unit_disk_graph(pos)
+    tree = low_interference_gather_tree(udg, 0)
+    comp_udg = next(
+        c for c in connected_components(udg.as_graph(weighted=False)) if 0 in c
+    )
+    comp_tree = next(
+        c for c in connected_components(tree.as_graph(weighted=False)) if 0 in c
+    )
+    assert comp_tree == comp_udg

@@ -1,0 +1,66 @@
+"""Tests for ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import exponential_chain, random_uniform_square
+from repro.highway.a_exp import a_exp
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+from repro.render.ascii_art import render_highway_arcs, render_scatter
+
+
+class TestHighwayArcs:
+    def test_contains_all_nodes_and_summary(self):
+        t = a_exp(exponential_chain(20))
+        art = render_highway_arcs(t, width=80)
+        node_row = art.splitlines()[-3]
+        assert node_row.count("o") + node_row.count("O") == 20
+        assert "I(G) =" in art
+
+    def test_hubs_marked(self):
+        t = a_exp(exponential_chain(20))
+        art = render_highway_arcs(t, width=80)
+        assert "O" in art
+
+    def test_arc_count_matches_edges(self):
+        t = a_exp(exponential_chain(12))
+        art = render_highway_arcs(t, width=60)
+        # each arc contributes exactly one '/' and one '\'
+        assert sum(line.count("/") for line in art.splitlines()) == t.n_edges
+
+    def test_empty(self):
+        assert "empty" in render_highway_arcs(Topology.empty(np.zeros((0, 2))))
+
+    def test_width_validation(self):
+        t = a_exp(exponential_chain(5))
+        with pytest.raises(ValueError):
+            render_highway_arcs(t, width=5)
+
+    def test_linear_scale(self):
+        t = a_exp(exponential_chain(10))
+        art = render_highway_arcs(t, width=60, log_scale=False)
+        assert isinstance(art, str) and len(art) > 0
+
+
+class TestScatter:
+    def test_nodes_drawn(self):
+        pos = random_uniform_square(15, side=2.0, seed=1)
+        udg = unit_disk_graph(pos)
+        art = render_scatter(udg, width=40, height=15)
+        assert art.count("o") >= 1
+        assert len(art.splitlines()) == 15
+
+    def test_edges_drawn_as_dots(self):
+        pos = np.array([[0.0, 0.0], [10.0, 10.0]])
+        t = Topology(pos, [(0, 1)])
+        art = render_scatter(t, width=30, height=15)
+        assert "." in art
+
+    def test_empty(self):
+        assert "empty" in render_scatter(Topology.empty(np.zeros((0, 2))))
+
+    def test_degenerate_single_point(self):
+        t = Topology(np.array([[1.0, 1.0]]), [])
+        art = render_scatter(t)
+        assert "o" in art

@@ -1,0 +1,66 @@
+"""Tests for the binary-exponential-backoff ALOHA simulator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import exponential_chain
+from repro.highway.a_exp import a_exp
+from repro.highway.linear import linear_chain
+from repro.model.topology import Topology
+from repro.sim.backoff import BebAlohaSimulator
+
+
+@pytest.fixture
+def pair():
+    return Topology(np.array([[0.0, 0.0], [1.0, 0.0]]), [(0, 1)])
+
+
+class TestBeb:
+    def test_deterministic(self, pair):
+        a = BebAlohaSimulator(pair).run(500, seed=3)
+        b = BebAlohaSimulator(pair).run(500, seed=3)
+        np.testing.assert_array_equal(a.attempts, b.attempts)
+        np.testing.assert_array_equal(a.deliveries, b.deliveries)
+
+    def test_pair_delivers(self, pair):
+        res = BebAlohaSimulator(pair).run(2000, seed=1)
+        assert res.deliveries.sum() > 0
+        assert res.attempts.sum() >= res.deliveries.sum()
+
+    def test_isolated_node_inactive(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [50.0, 0.0]])
+        t = Topology(pos, [(0, 1)])
+        res = BebAlohaSimulator(t).run(500, seed=2)
+        assert res.attempts[2] == 0
+
+    def test_retransmission_accounting(self, pair):
+        res = BebAlohaSimulator(pair).run(2000, seed=5)
+        # retransmissions only counted on delivered packets: never exceeds
+        # attempts - deliveries
+        assert np.all(res.retransmissions <= res.attempts - res.deliveries + 1)
+
+    def test_backoff_reduces_under_contention(self):
+        """BEB adapts: a clique's delivered throughput stays positive and
+        the observed contention window grows above cw_min."""
+        pos = np.array([[0.0, 0.0], [0.3, 0.0], [0.0, 0.3], [0.3, 0.3]])
+        t = Topology(pos, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        res = BebAlohaSimulator(t, cw_min=2, cw_max=64).run(4000, seed=7)
+        assert res.deliveries.sum() > 0
+        assert np.nanmean(res.mean_cw) > 2.0
+
+    def test_interference_drives_retransmissions(self):
+        pos = exponential_chain(30)
+        lin = BebAlohaSimulator(linear_chain(pos)).run(4000, seed=9)
+        aex = BebAlohaSimulator(a_exp(pos)).run(4000, seed=9)
+        assert np.nanmean(lin.retransmissions_per_delivery) > np.nanmean(
+            aex.retransmissions_per_delivery
+        )
+        assert aex.deliveries.sum() > lin.deliveries.sum()
+
+    def test_invalid_params(self, pair):
+        with pytest.raises(ValueError):
+            BebAlohaSimulator(pair, cw_min=0)
+        with pytest.raises(ValueError):
+            BebAlohaSimulator(pair, cw_min=8, cw_max=4)
+        with pytest.raises(ValueError):
+            BebAlohaSimulator(pair).run(-1)

@@ -1,0 +1,105 @@
+"""Tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(3.0, lambda: fired.append("c"))
+        while len(q):
+            _, cb = q.pop()
+            cb()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        fired = []
+        for tag in "xyz":
+            q.push(1.0, lambda t=tag: fired.append(t))
+        while len(q):
+            q.pop()[1]()
+        assert fired == ["x", "y", "z"]
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert math.isinf(q.peek_time())
+        q.push(5.0, lambda: None)
+        assert q.peek_time() == 5.0
+
+    def test_nonfinite_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(math.inf, lambda: None)
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+        assert sim.now == 1.5
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0  # clock lands on horizon
+        sim.run(until=20.0)
+        assert fired == [1, 10]
+
+    def test_event_at_horizon_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=5.0)
+        assert fired == [5]
+
+    def test_cascading_events(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        assert count[0] == 5
+        assert sim.now == 5.0
+
+    def test_max_events(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        sim.run(max_events=7)
+        assert sim.n_processed == 7
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)

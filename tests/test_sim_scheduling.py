@@ -1,0 +1,86 @@
+"""Tests for interference-aware TDMA scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import exponential_chain, random_udg_connected
+from repro.highway.a_exp import a_exp
+from repro.highway.linear import linear_chain
+from repro.interference.receiver import graph_interference
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+from repro.sim.scheduling import (
+    conflict_graph,
+    greedy_tdma_schedule,
+    schedule_length,
+    validate_schedule,
+)
+from repro.topologies import build
+
+
+class TestConflictGraph:
+    def test_symmetric_no_self(self, path_topology):
+        c = conflict_graph(path_topology)
+        assert np.array_equal(c, c.T)
+        assert not c.diagonal().any()
+
+    def test_adjacent_nodes_conflict(self, path_topology):
+        c = conflict_graph(path_topology)
+        for u, v in path_topology.edges:
+            assert c[u, v]
+
+    def test_isolated_node_conflict_free(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [99.0, 99.0]])
+        t = Topology(pos, [(0, 1)])
+        c = conflict_graph(t)
+        assert not c[2].any()
+
+    def test_hidden_terminal_conflict(self):
+        """0 and 2 are not adjacent but both cover receiver 1: conflict."""
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        t = Topology(pos, [(0, 1), (1, 2)])
+        c = conflict_graph(t)
+        assert c[0, 2]
+
+    def test_distant_pairs_free(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [11.0, 0.0]])
+        t = Topology(pos, [(0, 1), (2, 3)])
+        c = conflict_graph(t)
+        assert not c[0, 2] and not c[1, 3]
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_valid_on_random_topologies(self, seed):
+        pos = random_udg_connected(40, side=3.0, seed=seed)
+        udg = unit_disk_graph(pos)
+        for name in ("emst", "rng"):
+            t = build(name, udg)
+            colors = greedy_tdma_schedule(t)
+            assert validate_schedule(t, colors)
+            assert colors.min() >= 0
+
+    def test_length_at_least_interference_plus_one(self):
+        """Every node conflicting with v must avoid v's slot, and v
+        conflicts with at least the I(v) nodes covering it... the greedy
+        length is lower-bounded by the clique around the worst receiver."""
+        pos = exponential_chain(30)
+        t = linear_chain(pos)
+        # on the linear exponential chain all rightward transmitters cover
+        # v0's receiver, forming a conflict clique: slots >= I(G) + 1
+        assert schedule_length(t) >= graph_interference(t) + 1
+
+    def test_low_interference_fewer_slots(self):
+        pos = exponential_chain(40)
+        lin = linear_chain(pos)
+        aex = a_exp(pos)
+        assert schedule_length(aex) < schedule_length(lin)
+
+    def test_empty_and_trivial(self):
+        assert schedule_length(Topology.empty(np.zeros((0, 2)))) == 0
+        t = Topology(np.array([[0.0, 0.0], [1.0, 0.0]]), [(0, 1)])
+        assert schedule_length(t) == 2  # the pair cannot share a slot
+
+    def test_validate_rejects_bad_coloring(self, path_topology):
+        colors = np.zeros(5, dtype=np.int64)  # everyone in slot 0
+        assert not validate_schedule(path_topology, colors)

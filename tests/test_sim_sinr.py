@@ -1,0 +1,77 @@
+"""Tests for the SINR physical-layer simulator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import exponential_chain
+from repro.highway.a_exp import a_exp
+from repro.highway.linear import linear_chain
+from repro.model.topology import Topology
+from repro.sim.sinr import SinrSlottedSimulator
+
+
+@pytest.fixture
+def pair():
+    return Topology(np.array([[0.0, 0.0], [1.0, 0.0]]), [(0, 1)])
+
+
+class TestSinr:
+    def test_lone_link_closes(self, pair):
+        """Power calibration: with no interferers, every intended link
+        decodes exactly at the threshold."""
+        sim = SinrSlottedSimulator(pair, p=0.5)
+        # force one-sided traffic so no collisions are possible
+        sim.p = np.array([0.5, 0.0])
+        res = sim.run(1000, seed=1)
+        assert res.rx_failed[1] == 0
+        assert res.rx_ok[1] == res.attempts[0]
+
+    def test_deterministic(self, pair):
+        a = SinrSlottedSimulator(pair, p=0.4).run(500, seed=2)
+        b = SinrSlottedSimulator(pair, p=0.4).run(500, seed=2)
+        np.testing.assert_array_equal(a.rx_ok, b.rx_ok)
+
+    def test_tally_conservation(self):
+        t = linear_chain(exponential_chain(20))
+        res = SinrSlottedSimulator(t, p=0.2).run(500, seed=3)
+        assert (res.rx_ok + res.rx_failed).sum() == res.attempts.sum()
+
+    def test_concurrent_transmitters_can_fail(self):
+        """Three collinear nodes, outer two transmit to the middle: SINR at
+        the middle cannot clear beta for both."""
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        t = Topology(pos, [(0, 1), (1, 2)])
+        sim = SinrSlottedSimulator(t, p=0.9)
+        res = sim.run(1000, seed=4)
+        assert res.rx_failed.sum() > 0
+
+    def test_topology_ranking_preserved(self):
+        """The physical model agrees with the disk model on which topology
+        is better — the soundness claim of the abstraction."""
+        pos = exponential_chain(30)
+        lin = SinrSlottedSimulator(linear_chain(pos), p=0.15).run(3000, seed=5)
+        aex = SinrSlottedSimulator(a_exp(pos), p=0.15).run(3000, seed=5)
+        assert np.nanmean(aex.loss_rate) < np.nanmean(lin.loss_rate)
+
+    def test_higher_beta_more_loss(self):
+        pos = exponential_chain(20)
+        t = linear_chain(pos)
+        lo = SinrSlottedSimulator(t, beta=1.1, p=0.2).run(1500, seed=6)
+        hi = SinrSlottedSimulator(t, beta=4.0, p=0.2).run(1500, seed=6)
+        assert np.nanmean(hi.loss_rate) >= np.nanmean(lo.loss_rate)
+
+    def test_isolated_node_silent(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [40.0, 0.0]])
+        t = Topology(pos, [(0, 1)])
+        res = SinrSlottedSimulator(t, p=0.5).run(300, seed=7)
+        assert res.attempts[2] == 0
+
+    def test_invalid_params(self, pair):
+        with pytest.raises(ValueError):
+            SinrSlottedSimulator(pair, alpha=0.0)
+        with pytest.raises(ValueError):
+            SinrSlottedSimulator(pair, beta=-1.0)
+        with pytest.raises(ValueError):
+            SinrSlottedSimulator(pair, p=2.0)
+        with pytest.raises(ValueError):
+            SinrSlottedSimulator(pair).run(-5)

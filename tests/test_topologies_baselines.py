@@ -1,0 +1,76 @@
+"""Uniform contract tests over every registered topology-control algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import random_udg_connected
+from repro.model.udg import unit_disk_graph
+from repro.topologies import ALGORITHMS, build
+
+#: algorithms whose output may legitimately be disconnected: NNF is a
+#: forest by construction, and k-nearest-neighbour graphs carry no
+#: connectivity guarantee for fixed k
+FOREST_ONLY = {"nnf", "knn3"}
+
+
+@pytest.fixture(scope="module")
+def udgs():
+    out = []
+    for seed, (n, side) in enumerate([(25, 2.2), (50, 3.5), (70, 4.0)]):
+        pos = random_udg_connected(n, side=side, seed=seed + 1)
+        out.append(unit_disk_graph(pos, unit=1.0))
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestAlgorithmContract:
+    def test_subgraph_of_udg(self, name, udgs):
+        for udg in udgs:
+            assert build(name, udg).is_subgraph_of(udg)
+
+    def test_preserves_connectivity(self, name, udgs):
+        if name in FOREST_ONLY:
+            pytest.skip("forest algorithm need not connect")
+        for udg in udgs:
+            assert build(name, udg).is_connected()
+
+    def test_same_node_set(self, name, udgs):
+        for udg in udgs:
+            out = build(name, udg)
+            assert out.n == udg.n
+            np.testing.assert_array_equal(out.positions, udg.positions)
+
+    def test_deterministic(self, name, udgs):
+        udg = udgs[0]
+        a = build(name, udg)
+        b = build(name, udg)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_single_node(self, name):
+        udg = unit_disk_graph(np.array([[0.0, 0.0]]))
+        out = build(name, udg)
+        assert out.n == 1 and out.n_edges == 0
+
+    def test_two_nodes(self, name):
+        udg = unit_disk_graph(np.array([[0.0, 0.0], [0.5, 0.0]]))
+        out = build(name, udg)
+        assert out.has_edge(0, 1)
+
+    def test_disconnected_udg_no_cross_edges(self, name):
+        pos = np.array([[0.0, 0.0], [0.5, 0.0], [10.0, 0.0], [10.5, 0.0]])
+        udg = unit_disk_graph(pos)
+        out = build(name, udg)
+        assert out.is_subgraph_of(udg)
+        assert not out.has_edge(1, 2)
+
+
+def test_unknown_algorithm_rejected(udgs):
+    with pytest.raises(KeyError, match="unknown algorithm"):
+        build("does-not-exist", udgs[0])
+
+
+def test_registry_rejects_duplicates():
+    from repro.topologies.base import register
+
+    with pytest.raises(ValueError, match="already registered"):
+        register("emst")(lambda udg: udg)

@@ -1,0 +1,77 @@
+"""Tests for the hand-constructed figure topologies."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import cluster_with_remote, two_exponential_chains
+from repro.interference.receiver import graph_interference, node_interference
+from repro.topologies.constructions import (
+    fig1_star_with_remote,
+    fig2_sample_topology,
+    two_chains_optimal_tree,
+)
+
+
+class TestFig2:
+    def test_five_nodes_connected(self):
+        t = fig2_sample_topology()
+        assert t.n == 5
+        assert t.is_connected()
+
+    def test_u_interference_exactly_two(self):
+        t = fig2_sample_topology()
+        vec = node_interference(t)
+        assert vec[0] == 2
+
+    def test_u_covered_by_non_neighbor(self):
+        """Node 2 is not adjacent to node 0 but its disk reaches it."""
+        t = fig2_sample_topology()
+        assert not t.has_edge(0, 2)
+        d = float(np.hypot(*(t.positions[2] - t.positions[0])))
+        assert t.radii[2] >= d
+
+
+class TestFig1Star:
+    def test_connected(self):
+        pos = cluster_with_remote(15, seed=3)
+        t = fig1_star_with_remote(pos)
+        assert t.is_connected()
+
+    def test_remote_is_leaf(self):
+        pos = cluster_with_remote(15, seed=3)
+        t = fig1_star_with_remote(pos)
+        assert t.degrees[14] == 1
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            fig1_star_with_remote(np.zeros((1, 2)))
+
+
+class TestTwoChainsOptimal:
+    def test_spanning_tree(self):
+        pos, groups = two_exponential_chains(12)
+        t = two_chains_optimal_tree(pos, groups)
+        assert t.is_connected()
+        assert t.n_edges == t.n - 1
+
+    def test_constant_interference(self):
+        values = []
+        for m in (6, 12, 24, 48):
+            pos, groups = two_exponential_chains(m)
+            values.append(graph_interference(two_chains_optimal_tree(pos, groups)))
+        assert max(values) <= 6  # O(1), independent of size
+        assert max(values) - min(values) <= 1
+
+    def test_avoids_horizontal_chain(self):
+        pos, groups = two_exponential_chains(8)
+        t = two_chains_optimal_tree(pos, groups)
+        h = groups["h"]
+        for i in range(7):
+            assert not t.has_edge(int(h[i]), int(h[i + 1]))
+
+    def test_group_validation(self):
+        pos, groups = two_exponential_chains(6)
+        bad = dict(groups)
+        bad["t"] = bad["t"][:-1]
+        with pytest.raises(ValueError):
+            two_chains_optimal_tree(pos, bad)

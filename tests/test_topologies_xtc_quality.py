@@ -1,0 +1,70 @@
+"""Tests for XTC with pluggable link-quality functions."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import random_udg_connected
+from repro.model.udg import unit_disk_graph
+from repro.topologies import build
+from repro.topologies.xtc import xtc_with_quality
+from repro.utils import as_generator
+
+
+@pytest.fixture(scope="module")
+def udg():
+    pos = random_udg_connected(50, side=3.2, seed=44)
+    return unit_disk_graph(pos, unit=1.0)
+
+
+class TestXtcQuality:
+    def test_default_quality_matches_registered(self, udg):
+        assert np.array_equal(xtc_with_quality(udg).edges, build("xtc", udg).edges)
+
+    def test_noisy_quality_still_connected(self, udg):
+        """XTC needs only a symmetric total order — simulate measured link
+        quality = distance perturbed by symmetric fading noise."""
+        rng = as_generator(5)
+        noise = {}
+
+        def quality(a, b):
+            key = (min(a, b), max(a, b))
+            if key not in noise:
+                noise[key] = float(rng.uniform(0.8, 1.2))
+            d = float(np.hypot(*(udg.positions[a] - udg.positions[b])))
+            return d * noise[key]
+
+        out = xtc_with_quality(udg, quality)
+        assert out.is_connected()
+        assert out.is_subgraph_of(udg)
+
+    def test_quality_symmetry_gives_symmetric_decisions(self, udg):
+        """The per-edge verdict is endpoint-independent: computing with the
+        arguments swapped yields the same topology."""
+        def q_fwd(a, b):
+            return float(np.hypot(*(udg.positions[a] - udg.positions[b])))
+
+        def q_rev(a, b):
+            return q_fwd(b, a)
+
+        assert np.array_equal(
+            xtc_with_quality(udg, q_fwd).edges, xtc_with_quality(udg, q_rev).edges
+        )
+
+    def test_constant_quality_keeps_everything(self, udg):
+        """All links equal: tie-breaking by edge id means a witness must
+        have a strictly smaller canonical id pair on *both* sides; with the
+        canonical-pair order no witness can beat an adjacent edge pair on
+        both sides unless genuinely ranked lower — sanity-check the output
+        is still a connected subgraph."""
+        out = xtc_with_quality(udg, lambda a, b: 1.0)
+        assert out.is_connected()
+        assert out.is_subgraph_of(udg)
+
+    def test_inverted_quality_differs(self, udg):
+        """Preferring *long* links must change the outcome (and typically
+        raise interference)."""
+        def inv(a, b):
+            return -float(np.hypot(*(udg.positions[a] - udg.positions[b])))
+
+        out = xtc_with_quality(udg, inv)
+        assert not np.array_equal(out.edges, xtc_with_quality(udg).edges)

@@ -1,0 +1,98 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import check_edge_array, check_positions, check_radii
+from repro.utils.rng import as_generator
+
+
+class TestCheckPositions:
+    def test_passthrough_no_copy(self):
+        arr = np.zeros((4, 2), dtype=np.float64)
+        out = check_positions(arr)
+        assert out is arr or np.shares_memory(out, arr)
+
+    def test_lifts_1d_to_highway(self):
+        out = check_positions([0.0, 1.0, 3.0])
+        assert out.shape == (3, 2)
+        assert np.array_equal(out[:, 0], [0.0, 1.0, 3.0])
+        assert np.array_equal(out[:, 1], [0.0, 0.0, 0.0])
+
+    def test_casts_int_input(self):
+        out = check_positions([[0, 0], [1, 2]])
+        assert out.dtype == np.float64
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_positions(np.zeros((3, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positions([[0.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positions([[np.inf, 0.0]])
+
+    def test_empty_ok(self):
+        assert check_positions(np.zeros((0, 2))).shape == (0, 2)
+
+
+class TestCheckRadii:
+    def test_valid(self):
+        out = check_radii([0.0, 1.5, 2.0], 3)
+        assert out.dtype == np.float64
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_radii([1.0], 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_radii([-0.1, 0.0], 2)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_radii([np.nan, 0.0], 2)
+
+
+class TestCheckEdgeArray:
+    def test_canonicalises_order(self):
+        out = check_edge_array([(3, 1), (0, 2)], 4)
+        assert out.tolist() == [[0, 2], [1, 3]]
+
+    def test_deduplicates(self):
+        out = check_edge_array([(0, 1), (1, 0), (0, 1)], 2)
+        assert out.tolist() == [[0, 1]]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loops"):
+            check_edge_array([(1, 1)], 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="indices"):
+            check_edge_array([(0, 5)], 3)
+        with pytest.raises(ValueError, match="indices"):
+            check_edge_array([(-1, 0)], 3)
+
+    def test_empty(self):
+        assert check_edge_array([], 3).shape == (0, 2)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_edge_array([[1, 2, 3]], 5)
+
+
+class TestAsGenerator:
+    def test_from_int_deterministic(self):
+        a = as_generator(5).random(4)
+        b = as_generator(5).random(4)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
