@@ -1,0 +1,53 @@
+"""Bench EXT-8: churn engine throughput and lossy-protocol overhead.
+
+Times (a) a full churn run — joins/leaves with local repair and
+incremental interference maintenance — over a 120-node network, and
+(b) an XTC execution under 20% Bernoulli loss with the ack/retransmit
+loop. Both assert the robustness properties they exist to demonstrate.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistributedXtc, SynchronousNetwork, UnreliableNetwork
+from repro.faults import ChurnEngine, ChurnSchedule, FaultPlan
+from repro.geometry.generators import random_udg_connected, random_uniform_square
+from repro.graphs.mst import euclidean_mst_edges
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+
+
+@pytest.mark.benchmark(group="churn")
+def test_churn_engine_run(benchmark):
+    n, n_events = 120, 80
+    side = math.sqrt(n)
+    pos = random_uniform_square(n, side=side, seed=23)
+    topo = Topology(pos, euclidean_mst_edges(pos))
+    schedule = ChurnSchedule.random(n_events, side=side, seed=24)
+
+    def scenario():
+        return ChurnEngine(topo, schedule).run()
+
+    summary = benchmark(scenario)
+
+    assert summary.n_events > 0
+    # the paper's robustness property, per join, under randomized churn
+    assert summary.max_join_own_disk_delta <= 1
+    assert summary.always_connected
+    # a straggler's attachment edge covers a Theta(n) fraction of the network
+    assert summary.max_sender_delta >= 0.5 * n
+
+
+@pytest.mark.benchmark(group="churn")
+def test_unreliable_xtc_run(benchmark, udg_150):
+    lossless = SynchronousNetwork(udg_150).run(DistributedXtc())
+    plan = FaultPlan(seed=31, p_drop=0.2, p_duplicate=0.05, p_delay=0.05)
+    net = UnreliableNetwork(udg_150, plan)
+
+    result = benchmark(net.run, DistributedXtc())
+
+    assert np.array_equal(result.topology.edges, lossless.topology.edges)
+    assert result.messages_total > lossless.messages_total
+    assert result.meta["undelivered"] == 0

@@ -24,6 +24,7 @@ from repro.geometry.generators import (
     two_exponential_chains,
     uniform_chain,
 )
+from repro.faults import ChurnEngine, ChurnSchedule, FaultPlan
 from repro.model.topology import Topology
 from repro.model.udg import unit_disk_graph
 from repro.interference.receiver import graph_interference, node_interference
@@ -52,5 +53,8 @@ __all__ = [
     "cluster_with_remote",
     "random_uniform_square",
     "random_udg_connected",
+    "FaultPlan",
+    "ChurnSchedule",
+    "ChurnEngine",
     "__version__",
 ]

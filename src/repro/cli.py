@@ -44,6 +44,22 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument(
         "--csv-dir", type=Path, default=None, help="also export tables as CSV"
     )
+    churn = sub.add_parser(
+        "churn",
+        help="focused churn/loss resilience scenario (fault-injection harness)",
+    )
+    churn.add_argument("--n", type=int, default=60, help="initial network size")
+    churn.add_argument("--events", type=int, default=40, help="churn events to apply")
+    churn.add_argument(
+        "--loss",
+        type=float,
+        default=0.2,
+        help="Bernoulli message-loss rate for the protocol convergence check",
+    )
+    churn.add_argument("--seed", type=int, default=17, help="scenario seed")
+    churn.add_argument(
+        "--json", type=Path, default=None, help="also write the result as JSON"
+    )
     return parser
 
 
@@ -79,6 +95,22 @@ def _main(argv: list[str] | None = None) -> int:
         if args.csv_dir is not None:
             for p in write_csvs(results, args.csv_dir):
                 print(f"wrote {p}")
+        return 0
+
+    if args.command == "churn":
+        result = experiments.run(
+            "churn_resilience",
+            sizes=(args.n,),
+            n_events=args.events,
+            loss_rates=(args.loss,),
+            loss_n=args.n,
+            seed=args.seed,
+        )
+        print(result.render())
+        if args.json is not None:
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+            args.json.write_text(result.to_json())
+            print(f"  wrote {args.json}")
         return 0
 
     kwargs = {}

@@ -6,9 +6,20 @@ neighbours. This package provides a synchronous message-passing framework
 distributed implementations of the locality-friendly baselines — NNF, XTC
 and LMST — verified against their centralized counterparts and reported
 with their round/message complexity.
+
+:class:`UnreliableNetwork` runs the same protocols over a faulty medium
+(per-link drop/duplicate/delay plus node crashes, described by a seeded
+:class:`repro.faults.FaultPlan`) using an ack/retransmission loop, so
+convergence and overhead under loss can be measured instead of assumed.
 """
 
-from repro.distributed.framework import DistributedResult, Protocol, SynchronousNetwork
+from repro.distributed.framework import (
+    COMBINE_MODES,
+    DistributedResult,
+    Protocol,
+    SynchronousNetwork,
+    UnreliableNetwork,
+)
 from repro.distributed.protocols import (
     DistributedLmst,
     DistributedNnf,
@@ -17,8 +28,10 @@ from repro.distributed.protocols import (
 
 __all__ = [
     "SynchronousNetwork",
+    "UnreliableNetwork",
     "Protocol",
     "DistributedResult",
+    "COMBINE_MODES",
     "DistributedNnf",
     "DistributedXtc",
     "DistributedLmst",

@@ -8,10 +8,24 @@ nominates the incident edges it wants to keep; the framework combines
 nominations symmetrically (union or intersection, per protocol) into the
 output topology.
 
+Two execution paths share that contract:
+
+- :class:`SynchronousNetwork` — the idealised lossless network.
+- :class:`UnreliableNetwork` — the same round structure over a faulty
+  medium described by a :class:`repro.faults.FaultPlan`: per-link Bernoulli
+  drop/duplicate/delay plus node crashes. Each round expands into *attempt
+  slots*: senders broadcast, receivers ack (acks are lossy too), and
+  senders retransmit to unacked neighbours until everything is acked or the
+  ``max_attempts`` budget runs out. With the budget large enough the inbox
+  a node finally folds is identical to the lossless one, so LOCAL protocols
+  converge to the very same topology — the overhead shows up only in the
+  extra slots and messages, which are reported.
+
 Message accounting: a broadcast by ``u`` counts as ``deg(u)`` delivered
 messages (radio broadcasts reach each neighbour once); per-round and total
 tallies are reported so protocols' communication complexity can be checked
-by tests.
+by tests. Unreliable runs report data messages in the same currency, with
+acks, retransmissions and fault counts in ``meta``.
 """
 
 from __future__ import annotations
@@ -22,6 +36,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.model.topology import Topology
+
+#: Valid values of :attr:`Protocol.combine`.
+COMBINE_MODES = ("union", "intersection")
 
 
 class Protocol(ABC):
@@ -63,6 +80,53 @@ class DistributedResult:
     meta: dict = field(default_factory=dict)
 
 
+def _check_combine(protocol: Protocol) -> None:
+    """Reject unknown combine modes up front.
+
+    A typo like ``combine = "intersect"`` must fail loudly instead of
+    silently behaving as intersection via the fallthrough in the combine
+    loop.
+    """
+    if protocol.combine not in COMBINE_MODES:
+        raise ValueError(
+            f"unknown combine mode {protocol.combine!r}; "
+            f"expected one of {COMBINE_MODES}"
+        )
+
+
+def _collect_nominations(
+    protocol: Protocol, udg: Topology, states: list[dict], nodes
+) -> dict[int, set[int]]:
+    """Ask ``nodes`` for nominations, validated against their UDG edges."""
+    nominated: dict[int, set[int]] = {}
+    for u in nodes:
+        noms = {int(v) for v in protocol.nominations(states[u])}
+        bad = noms - set(udg.neighbors(u))
+        if bad:
+            raise RuntimeError(
+                f"protocol nominated non-neighbours {sorted(bad)} at node {u}"
+            )
+        nominated[u] = noms
+    return nominated
+
+
+def _combine_edges(protocol: Protocol, nominated: dict[int, set[int]]) -> set:
+    """Fold per-node nominations into the symmetric output edge set.
+
+    Nodes absent from ``nominated`` (crashed) contribute no edges; an edge
+    needs both endpoints participating (union: either nominates;
+    intersection: both nominate).
+    """
+    edges = set()
+    for u, noms in nominated.items():
+        for v in noms:
+            if v not in nominated:
+                continue  # endpoint crashed: the link is gone
+            if protocol.combine == "union" or u in nominated[v]:
+                edges.add((min(u, v), max(u, v)))
+    return edges
+
+
 class SynchronousNetwork:
     """Execute a :class:`Protocol` over the given unit disk graph."""
 
@@ -70,6 +134,7 @@ class SynchronousNetwork:
         self.udg = udg
 
     def run(self, protocol: Protocol) -> DistributedResult:
+        _check_combine(protocol)
         udg = self.udg
         n = udg.n
         states = [
@@ -94,20 +159,8 @@ class SynchronousNetwork:
             for u in range(n):
                 protocol.receive(r, states[u], inboxes[u])
 
-        nominated: list[set[int]] = [
-            {int(v) for v in protocol.nominations(states[u])} for u in range(n)
-        ]
-        for u, noms in enumerate(nominated):
-            bad = noms - set(udg.neighbors(u))
-            if bad:
-                raise RuntimeError(
-                    f"protocol nominated non-neighbours {sorted(bad)} at node {u}"
-                )
-        edges = set()
-        for u in range(n):
-            for v in nominated[u]:
-                if protocol.combine == "union" or u in nominated[v]:
-                    edges.add((min(u, v), max(u, v)))
+        nominated = _collect_nominations(protocol, udg, states, range(n))
+        edges = _combine_edges(protocol, nominated)
         topo = Topology(
             udg.positions,
             np.array(sorted(edges), dtype=np.int64).reshape(-1, 2),
@@ -119,3 +172,175 @@ class SynchronousNetwork:
             messages_per_round=per_round,
             meta={"combine": protocol.combine},
         )
+
+
+class UnreliableNetwork:
+    """Execute a :class:`Protocol` over a lossy, crash-prone medium.
+
+    Parameters
+    ----------
+    udg:
+        The unit disk graph (link layer).
+    plan:
+        A :class:`repro.faults.FaultPlan`; defaults to a lossless plan, in
+        which case the run is message-for-message identical to
+        :class:`SynchronousNetwork` (plus one ack per delivery in ``meta``).
+    max_attempts:
+        Retransmission budget per protocol round. Links whose data message
+        never got through within the budget are counted in
+        ``meta["undelivered"]``; with Bernoulli loss ``p`` the probability
+        of that is ``p**max_attempts`` per link, negligible at the default.
+
+    Crash semantics: a node crashed from round ``r`` onward neither sends,
+    acks, receives nor nominates; the failure is detectable at the link
+    layer, so live neighbours do not waste retransmissions on it. Crashed
+    nodes end isolated in the output topology (their survivors keep the
+    same indices as in ``udg``).
+    """
+
+    def __init__(self, udg: Topology, plan=None, *, max_attempts: int = 25):
+        from repro.faults.plan import FaultPlan
+
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.udg = udg
+        self.plan = plan if plan is not None else FaultPlan.lossless()
+        self.max_attempts = int(max_attempts)
+
+    def run(self, protocol: Protocol) -> DistributedResult:
+        _check_combine(protocol)
+        udg = self.udg
+        plan = self.plan
+        n = udg.n
+        states = [
+            protocol.init_state(
+                u, udg.positions[u].copy(), sorted(udg.neighbors(u))
+            )
+            for u in range(n)
+        ]
+        stats = {
+            "drops": 0,
+            "duplicates": 0,
+            "delays": 0,
+            "ack_drops": 0,
+            "retransmissions": 0,
+            "ack_messages": 0,
+            "undelivered": 0,
+            "expired_delays": 0,
+        }
+        per_round: list[int] = []
+        slots_per_round: list[int] = []
+        for r in range(protocol.n_rounds):
+            sent = self._run_round(r, protocol, states, stats)
+            per_round.append(sent)
+            slots_per_round.append(stats.pop("_slots"))
+
+        # a node nominates iff it survived every protocol round; a crash
+        # scheduled past the last round is after the protocol completed
+        last = max(protocol.n_rounds - 1, 0)
+        survivors = [u for u in range(n) if not plan.is_crashed(u, last)]
+        nominated = _collect_nominations(protocol, udg, states, survivors)
+        edges = _combine_edges(protocol, nominated)
+        topo = Topology(
+            udg.positions,
+            np.array(sorted(edges), dtype=np.int64).reshape(-1, 2),
+        )
+        meta = {
+            "combine": protocol.combine,
+            "plan": repr(plan),
+            "p_drop": plan.p_drop,
+            "p_duplicate": plan.p_duplicate,
+            "p_delay": plan.p_delay,
+            "max_attempts": self.max_attempts,
+            "slots_per_round": slots_per_round,
+            "extra_slots": int(sum(slots_per_round) - len(slots_per_round)),
+            "crashed": sorted(set(range(n)) - set(survivors)),
+            **stats,
+        }
+        return DistributedResult(
+            topology=topo,
+            rounds=protocol.n_rounds,
+            messages_total=int(sum(per_round)),
+            messages_per_round=per_round,
+            meta=meta,
+        )
+
+    def _run_round(
+        self, r: int, protocol: Protocol, states: list[dict], stats: dict
+    ) -> int:
+        """One protocol round as an ack/retransmit slot loop; returns the
+        number of data messages transmitted (broadcast currency)."""
+        udg = self.udg
+        plan = self.plan
+        alive = [u for u in range(udg.n) if not plan.is_crashed(u, r)]
+        alive_set = set(alive)
+        payloads = {u: protocol.send(r, states[u]) for u in alive}
+        live_nbrs = {
+            u: [v for v in sorted(udg.neighbors(u)) if v in alive_set]
+            for u in alive
+        }
+        inboxes: dict[int, dict] = {u: {} for u in alive}
+        # directed links still awaiting an ack, keyed by sender
+        pending: dict[int, set[int]] = {
+            u: set(live_nbrs[u])
+            for u in alive
+            if payloads[u] is not None and live_nbrs[u]
+        }
+        delayed: list[tuple[int, int, int]] = []  # (due_slot, sender, receiver)
+        messages = 0
+        slot = 0
+
+        def deliver(u: int, v: int, at_slot: int, copies: int = 1) -> None:
+            if u in inboxes[v]:
+                stats["duplicates"] += copies
+            else:
+                inboxes[v][u] = payloads[u]
+                stats["duplicates"] += copies - 1
+            if v in pending.get(u, ()):
+                stats["ack_messages"] += 1
+                if plan.ack_dropped(r, at_slot, u, v):
+                    stats["ack_drops"] += 1
+                else:
+                    pending[u].discard(v)
+
+        while slot < self.max_attempts and (
+            any(pending.values()) or delayed
+        ):
+            still_delayed = []
+            for due, u, v in delayed:
+                if due <= slot:
+                    deliver(u, v, slot)
+                else:
+                    still_delayed.append((due, u, v))
+            delayed = still_delayed
+            for u in alive:
+                targets = pending.get(u)
+                if not targets:
+                    continue
+                if slot > 0:
+                    stats["retransmissions"] += 1
+                messages += len(live_nbrs[u])  # radio broadcast reaches all
+                for v in sorted(targets):
+                    outcome, d = plan.link_outcome(r, slot, u, v)
+                    if outcome == "drop":
+                        stats["drops"] += 1
+                    elif outcome == "delay":
+                        stats["delays"] += 1
+                        delayed.append((slot + d, u, v))
+                    elif outcome == "duplicate":
+                        deliver(u, v, slot, copies=2)
+                    else:
+                        deliver(u, v, slot)
+            slot += 1
+
+        # in-flight copies whose due slot exceeded the budget
+        stats["expired_delays"] += len(delayed)
+        # links whose data never arrived at all (distinct from merely
+        # unacked links, which did deliver)
+        stats["undelivered"] += sum(
+            1 for u, targets in pending.items() for v in targets if u not in inboxes[v]
+        )
+        for u in alive:
+            protocol.receive(r, states[u], inboxes[u])
+        stats["_slots"] = max(slot, 1)
+        return messages

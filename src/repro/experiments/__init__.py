@@ -34,6 +34,7 @@ from repro.experiments import (  # noqa: F401  (import for side effects)
     gathering,
     distributed_tc,
     ablation_spacing,
+    churn_resilience,
 )
 
 __all__ = [

@@ -1,0 +1,191 @@
+"""EXT-8 — churn & loss resilience: the robustness claim, dynamically.
+
+Two halves, one claim. **Churn**: a constant-density EMST network endures a
+randomized join/leave schedule (with periodic far-away stragglers — the
+Figure 1 situation); per join we record the receiver-centric interference
+delta split into the new node's own-disk part (paper: <= 1 at any victim)
+and the attachment-growth part, against the sender-centric jump, which a
+single straggler pushes to the order of the network size. **Loss**: the
+distributed protocols (NNF/XTC/LMST) run over an unreliable medium with
+Bernoulli message loss up to ``p = 0.3`` plus duplication/delay, and must
+converge to exactly the lossless topology, paying only a measured
+retransmission/slot overhead.
+
+Together they exercise what Section 3 only argues: the receiver-centric
+measure is *robust* — node churn moves it by a constant while the
+sender-centric measure of [2] swings by Theta(n) — and the local protocols
+that realise it tolerate a realistically lossy medium.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributed import (
+    DistributedLmst,
+    DistributedNnf,
+    DistributedXtc,
+    SynchronousNetwork,
+    UnreliableNetwork,
+)
+from repro.experiments.registry import ExperimentResult, register
+from repro.faults import ChurnEngine, ChurnSchedule, FaultPlan
+from repro.geometry.generators import random_udg_connected, random_uniform_square
+from repro.graphs.mst import euclidean_mst_edges
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+
+
+def _churn_run(n: int, n_events: int, seed: int):
+    """One churn scenario: EMST over a unit-density cluster + random churn."""
+    side = math.sqrt(n)
+    pos = random_uniform_square(n, side=side, seed=seed)
+    topo = Topology(pos, euclidean_mst_edges(pos))
+    schedule = ChurnSchedule.random(n_events, side=side, seed=seed + 1)
+    engine = ChurnEngine(topo, schedule)
+    summary = engine.run()
+    return engine, summary
+
+
+def _loss_run(n: int, p: float, seed: int):
+    """All three protocols under Bernoulli loss ``p`` (+ dup/delay noise)."""
+    pos = random_udg_connected(n, side=0.4 * n**0.5, seed=seed)
+    udg = unit_disk_graph(pos)
+    out = []
+    for name, proto_cls in (
+        ("nnf", DistributedNnf),
+        ("xtc", DistributedXtc),
+        ("lmst", DistributedLmst),
+    ):
+        lossless = SynchronousNetwork(udg).run(proto_cls())
+        plan = FaultPlan(
+            seed=seed, p_drop=p, p_duplicate=min(0.05, p), p_delay=min(0.05, p)
+        )
+        lossy = UnreliableNetwork(udg, plan).run(proto_cls())
+        out.append(
+            {
+                "protocol": name,
+                "p": p,
+                "match": bool(
+                    np.array_equal(lossy.topology.edges, lossless.topology.edges)
+                ),
+                "messages_lossless": lossless.messages_total,
+                "messages_lossy": lossy.messages_total,
+                "overhead": lossy.messages_total / max(lossless.messages_total, 1),
+                "slots": lossy.meta["slots_per_round"],
+                "retransmissions": lossy.meta["retransmissions"],
+                "undelivered": lossy.meta["undelivered"],
+            }
+        )
+    return out
+
+
+@register(
+    "churn_resilience",
+    "Churn & loss resilience: dynamic verification of the robustness claim",
+    "Section 1 / Figure 1 under churn; Section 2 protocols under loss",
+)
+def run_churn_resilience(
+    sizes=(20, 40, 80),
+    n_events: int = 40,
+    loss_rates=(0.1, 0.2, 0.3),
+    loss_n: int = 40,
+    seed: int = 17,
+) -> ExperimentResult:
+    rows = []
+    data = {"churn": [], "loss": [], "sizes": list(sizes)}
+
+    for n in sizes:
+        engine, summary = _churn_run(n, n_events, seed)
+        stragglers = [r for r in engine.records if r.straggler]
+        straggler_rel = max(
+            (r.sender_delta / r.n_alive for r in stragglers), default=0.0
+        )
+        rows.append(
+            [
+                f"churn n={n}",
+                summary.n_events,
+                summary.max_join_own_disk_delta,
+                summary.max_join_receiver_delta,
+                f"{summary.max_sender_delta:.0f}",
+                f"{straggler_rel:.0%}",
+                summary.always_connected,
+            ]
+        )
+        data["churn"].append(
+            {
+                "n": n,
+                "n_events": summary.n_events,
+                "n_joins": summary.n_joins,
+                "n_leaves": summary.n_leaves,
+                "max_join_own_disk_delta": summary.max_join_own_disk_delta,
+                "max_join_receiver_delta": summary.max_join_receiver_delta,
+                "max_leave_receiver_delta": summary.max_leave_receiver_delta,
+                "max_sender_delta": summary.max_sender_delta,
+                "max_sender_delta_relative": summary.max_sender_delta_relative,
+                "always_connected": summary.always_connected,
+                "n_repaired_edges": summary.n_repaired_edges,
+                "straggler_sender_relative": straggler_rel,
+            }
+        )
+
+    for p in loss_rates:
+        for entry in _loss_run(loss_n, p, seed + 100):
+            rows.append(
+                [
+                    f"loss {entry['protocol']} p={p}",
+                    "-",
+                    "-",
+                    "-",
+                    f"x{entry['overhead']:.2f}",
+                    entry["retransmissions"],
+                    entry["match"],
+                ]
+            )
+            data["loss"].append(entry)
+
+    own_disk_bounded = all(
+        c["max_join_own_disk_delta"] <= 1 for c in data["churn"]
+    )
+    sender_deltas = [c["max_sender_delta"] for c in data["churn"]]
+    sender_grows = all(
+        b > a for a, b in zip(sender_deltas, sender_deltas[1:])
+    ) and all(
+        c["max_sender_delta"] >= 0.5 * c["n"] for c in data["churn"]
+    )
+    all_converge = all(e["match"] for e in data["loss"])
+    all_connected = all(c["always_connected"] for c in data["churn"])
+    return ExperimentResult(
+        experiment_id="churn_resilience",
+        title=(
+            f"Churn & loss resilience ({n_events} events/network, "
+            f"loss up to p={max(loss_rates)})"
+        ),
+        headers=[
+            "scenario",
+            "events",
+            "max recv delta (own disk)",
+            "max recv delta (total)",
+            "max sender delta / msg overhead",
+            "straggler jump / retransmissions",
+            "connected / converged",
+        ],
+        rows=rows,
+        notes=[
+            f"per-join receiver-centric own-disk delta <= 1 across all runs: "
+            f"{own_disk_bounded} (the paper's robustness property, now under "
+            "randomized churn)",
+            f"sender-centric jump grows with n "
+            f"({', '.join(f'{d:.0f}' for d in sender_deltas)} for n = "
+            f"{', '.join(map(str, sizes))}): {sender_grows} — the Figure 1 "
+            "separation",
+            f"survivor connectivity restored after every leave (local repair): "
+            f"{all_connected}",
+            f"all protocols converge to the lossless topology at every loss "
+            f"rate <= {max(loss_rates)}: {all_converge}, paying only "
+            "retransmission overhead",
+        ],
+        data=data,
+    )

@@ -1,0 +1,31 @@
+"""Fault injection: lossy links, node crashes, and topology churn.
+
+A real ad-hoc deployment sees exactly the failures the paper's robustness
+argument is about: nodes arrive and depart, and the wireless medium drops,
+duplicates and delays messages. This package makes those failure modes
+first-class and reproducible:
+
+- :class:`FaultPlan` — a seeded, order-independent schedule of per-link
+  message faults (Bernoulli drop/duplicate/delay) and node crashes,
+  consumed by :class:`repro.distributed.UnreliableNetwork`.
+- :class:`ChurnSchedule` / :class:`ChurnEvent` — a seeded sequence of
+  node join/leave events over a built topology.
+- :class:`ChurnEngine` — applies a churn schedule to a topology with
+  local repair (nearest-neighbour re-patching), maintaining interference
+  incrementally via :class:`repro.interference.InterferenceTracker` and
+  recording per-event receiver-/sender-centric deltas
+  (:class:`repro.interference.robustness.StabilityRecord`).
+
+Everything is deterministic given its seed, so fault scenarios are exact
+reproducible artifacts rather than flaky one-offs.
+"""
+
+from repro.faults.plan import ChurnEvent, ChurnSchedule, FaultPlan
+from repro.faults.churn import ChurnEngine
+
+__all__ = [
+    "FaultPlan",
+    "ChurnSchedule",
+    "ChurnEvent",
+    "ChurnEngine",
+]

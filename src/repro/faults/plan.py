@@ -1,0 +1,255 @@
+"""Seeded fault schedules: per-link message faults, crashes and churn.
+
+The central design constraint is *order independence*: the outcome of every
+fault query is a pure function of the plan's seed and the query coordinates
+``(round, attempt, sender, receiver)``, never of how many draws happened
+before. Executors may therefore iterate links in any order, retry, or
+re-run a round without perturbing the rest of the schedule — the property
+that makes fault scenarios replayable artifacts.
+
+Draws are implemented by seeding a fresh PCG64 generator with the tuple
+``(seed, tag, round, attempt, sender, receiver)``; NumPy hashes the whole
+tuple into the stream state, so distinct coordinates give independent
+streams while identical coordinates always reproduce the same outcome.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils import as_generator
+
+#: Query tags keeping independent fault dimensions on independent streams.
+_TAG_LINK = 0
+_TAG_ACK = 1
+
+#: Possible outcomes of :meth:`FaultPlan.link_outcome`.
+LINK_OUTCOMES = ("deliver", "drop", "duplicate", "delay")
+
+
+class FaultPlan:
+    """Deterministic per-link message faults plus a node-crash schedule.
+
+    Parameters
+    ----------
+    seed:
+        Integer seed; the plan is a pure function of it.
+    p_drop, p_duplicate, p_delay:
+        Bernoulli rates for the three link fault modes (must sum to <= 1;
+        the remainder is clean delivery). Acks are dropped with the same
+        ``p_drop`` as data messages.
+    max_delay:
+        Delayed messages arrive 1..``max_delay`` attempt slots late.
+    crashes:
+        Mapping ``node -> round``; the node is silent (sends nothing, acks
+        nothing, receives nothing) from that round onward.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        p_drop: float = 0.0,
+        p_duplicate: float = 0.0,
+        p_delay: float = 0.0,
+        max_delay: int = 2,
+        crashes: dict[int, int] | None = None,
+    ):
+        for name, p in (
+            ("p_drop", p_drop),
+            ("p_duplicate", p_duplicate),
+            ("p_delay", p_delay),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if p_drop + p_duplicate + p_delay > 1.0 + 1e-12:
+            raise ValueError("fault probabilities must sum to at most 1")
+        if max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+        self.seed = int(seed)
+        self.p_drop = float(p_drop)
+        self.p_duplicate = float(p_duplicate)
+        self.p_delay = float(p_delay)
+        self.max_delay = int(max_delay)
+        self.crashes = {int(u): int(r) for u, r in (crashes or {}).items()}
+        for u, r in self.crashes.items():
+            if u < 0 or r < 0:
+                raise ValueError("crash entries must be non-negative")
+
+    # -- convenience constructors -----------------------------------------
+    @classmethod
+    def lossless(cls, *, crashes: dict[int, int] | None = None) -> "FaultPlan":
+        """A perfect network (optionally still with crashes)."""
+        return cls(seed=0, crashes=crashes)
+
+    @classmethod
+    def bernoulli(cls, p: float, *, seed: int = 0, **kwargs) -> "FaultPlan":
+        """Pure Bernoulli loss at rate ``p`` (the paper-adjacent lossy model)."""
+        return cls(seed=seed, p_drop=p, **kwargs)
+
+    # -- crash queries -----------------------------------------------------
+    def crash_round(self, node: int) -> int | None:
+        """Round from which ``node`` is crashed, or None if it never is."""
+        return self.crashes.get(int(node))
+
+    def is_crashed(self, node: int, round_idx: int) -> bool:
+        r = self.crashes.get(int(node))
+        return r is not None and round_idx >= r
+
+    # -- link queries ------------------------------------------------------
+    def _rng(self, tag: int, round_idx: int, attempt: int, u: int, v: int):
+        return np.random.default_rng(
+            (self.seed, tag, int(round_idx), int(attempt), int(u), int(v))
+        )
+
+    def link_outcome(
+        self, round_idx: int, attempt: int, sender: int, receiver: int
+    ) -> tuple[str, int]:
+        """Fate of one directed transmission attempt.
+
+        Returns ``(outcome, delay)`` where ``outcome`` is one of
+        :data:`LINK_OUTCOMES` and ``delay`` (attempt slots, >= 1) is only
+        meaningful for ``"delay"``.
+        """
+        if self.p_drop == self.p_duplicate == self.p_delay == 0.0:
+            return "deliver", 0
+        rng = self._rng(_TAG_LINK, round_idx, attempt, sender, receiver)
+        x = float(rng.random())
+        if x < self.p_drop:
+            return "drop", 0
+        if x < self.p_drop + self.p_duplicate:
+            return "duplicate", 0
+        if x < self.p_drop + self.p_duplicate + self.p_delay:
+            return "delay", 1 + int(rng.integers(self.max_delay))
+        return "deliver", 0
+
+    def ack_dropped(
+        self, round_idx: int, attempt: int, sender: int, receiver: int
+    ) -> bool:
+        """Whether the ack for this delivery is lost on the way back."""
+        if self.p_drop == 0.0:
+            return False
+        rng = self._rng(_TAG_ACK, round_idx, attempt, sender, receiver)
+        return bool(rng.random() < self.p_drop)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, p_drop={self.p_drop}, "
+            f"p_duplicate={self.p_duplicate}, p_delay={self.p_delay}, "
+            f"crashes={len(self.crashes)})"
+        )
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership event applied to a running topology.
+
+    ``kind`` is ``"join"`` (with a concrete ``position``) or ``"leave"``.
+    Leaves carry a ``salt`` instead of a node id: the engine picks the
+    victim as ``alive[salt % len(alive)]`` over the currently-alive nodes,
+    which keeps the schedule independent of engine state while remaining
+    fully deterministic.
+    """
+
+    kind: str
+    position: tuple[float, float] | None = None
+    salt: int = 0
+    #: joins only: this node arrives far outside the deployment area
+    straggler: bool = False
+
+    def __post_init__(self):
+        if self.kind not in ("join", "leave"):
+            raise ValueError(f"unknown churn event kind {self.kind!r}")
+        if self.kind == "join" and self.position is None:
+            raise ValueError("join events need a position")
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """An ordered, seeded sequence of :class:`ChurnEvent`.
+
+    Build with :meth:`random` for the standard randomized workload, or
+    construct the event list directly for hand-crafted scenarios.
+    """
+
+    events: tuple[ChurnEvent, ...]
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def join_positions(self) -> np.ndarray:
+        """``(k, 2)`` positions of all scheduled joins, in event order.
+
+        The churn engine pre-allocates its interference tracker over the
+        initial nodes plus exactly these points.
+        """
+        pts = [e.position for e in self.events if e.kind == "join"]
+        return np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+
+    @classmethod
+    def random(
+        cls,
+        n_events: int,
+        *,
+        side: float,
+        seed=None,
+        leave_fraction: float = 0.35,
+        straggler_every: int = 5,
+        straggler_distance: tuple[float, float] = (2.5, 3.5),
+    ) -> "ChurnSchedule":
+        """Randomized churn: local joins, periodic stragglers, random leaves.
+
+        Joins land uniformly in ``[0, side]^2``; every ``straggler_every``-th
+        join is instead a *straggler* far outside the deployment area (at
+        ``side * U(straggler_distance)`` from the centre) — the Figure 1
+        situation whose attachment edge covers the whole network under the
+        sender-centric measure. Roughly ``leave_fraction`` of events are
+        leaves.
+        """
+        if n_events < 1:
+            raise ValueError("n_events must be >= 1")
+        if side <= 0:
+            raise ValueError("side must be positive")
+        if not 0.0 <= leave_fraction < 1.0:
+            raise ValueError("leave_fraction must lie in [0, 1)")
+        if straggler_every < 1:
+            raise ValueError("straggler_every must be >= 1")
+        lo, hi = straggler_distance
+        if not 0 < lo <= hi:
+            raise ValueError("straggler_distance must satisfy 0 < lo <= hi")
+        rng = as_generator(seed)
+        events: list[ChurnEvent] = []
+        n_joins = 0
+        for _ in range(n_events):
+            if rng.random() < leave_fraction:
+                events.append(ChurnEvent("leave", salt=int(rng.integers(2**31))))
+                continue
+            n_joins += 1
+            straggler = n_joins % straggler_every == 0
+            if straggler:
+                angle = float(rng.uniform(0.0, 2.0 * math.pi))
+                radius = float(side * rng.uniform(lo, hi))
+                pos = (
+                    side / 2.0 + radius * math.cos(angle),
+                    side / 2.0 + radius * math.sin(angle),
+                )
+            else:
+                pos = (float(rng.uniform(0.0, side)), float(rng.uniform(0.0, side)))
+            events.append(ChurnEvent("join", position=pos, straggler=straggler))
+        return cls(
+            events=tuple(events),
+            meta={
+                "side": side,
+                "leave_fraction": leave_fraction,
+                "straggler_every": straggler_every,
+                "n_joins": n_joins,
+            },
+        )

@@ -26,8 +26,11 @@ from repro.interference.sender import (
 )
 from repro.interference.robustness import (
     AdditionReport,
+    StabilityRecord,
+    StabilitySummary,
     addition_report,
     removal_report,
+    stability_summary,
 )
 from repro.interference.traffic import traffic_interference
 
@@ -44,5 +47,8 @@ __all__ = [
     "AdditionReport",
     "addition_report",
     "removal_report",
+    "StabilityRecord",
+    "StabilitySummary",
+    "stability_summary",
     "traffic_interference",
 ]

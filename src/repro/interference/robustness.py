@@ -103,6 +103,93 @@ def addition_report(
     )
 
 
+@dataclass(frozen=True)
+class StabilityRecord:
+    """Interference deltas of one churn event, under both measures.
+
+    Produced per event by :class:`repro.faults.ChurnEngine`. All deltas are
+    over the *victims* — nodes alive both before and after the event — so
+    the record isolates what the event did to the pre-existing network.
+    """
+
+    index: int
+    kind: str  # "join" | "leave"
+    node: int  # universe id of the joining / leaving node
+    #: max over victims of the total receiver-centric I(v) change
+    receiver_delta_max: int
+    #: joins only: max over victims of the new node's own-disk coverage
+    #: (the paper's provably-<=-1 contribution; 0 for leaves)
+    own_disk_delta_max: int
+    #: max over victims of the attachment/repair radius-growth contribution
+    growth_delta_max: int
+    sender_before: float
+    sender_after: float
+    #: survivors connected after the event (post-repair for leaves)
+    connected: bool
+    #: alive node count after the event
+    n_alive: int
+    #: repair edges added by the engine (leaves; empty for joins)
+    repaired_edges: tuple = ()
+    #: whether this join was a straggler (far outside the deployment area)
+    straggler: bool = False
+
+    @property
+    def sender_delta(self) -> float:
+        return self.sender_after - self.sender_before
+
+
+@dataclass(frozen=True)
+class StabilitySummary:
+    """Aggregate of a churn run's :class:`StabilityRecord` sequence.
+
+    The empirical form of the Figure 1 separation: across every join the
+    new node's own disk raises any victim's interference by at most one
+    (``max_join_own_disk_delta <= 1``), while a single straggler join can
+    push the sender-centric measure to the order of the network size
+    (``max_sender_delta`` ~ n).
+    """
+
+    n_events: int
+    n_joins: int
+    n_leaves: int
+    max_join_own_disk_delta: int
+    max_join_receiver_delta: int
+    max_leave_receiver_delta: int
+    max_sender_delta: float
+    max_sender_delta_relative: float  # max over events of delta / n_alive
+    always_connected: bool
+    n_repaired_edges: int
+
+    @property
+    def own_disk_bound_holds(self) -> bool:
+        """The paper's robustness property: one new disk adds at most 1."""
+        return self.max_join_own_disk_delta <= 1
+
+
+def stability_summary(records) -> StabilitySummary:
+    """Fold per-event :class:`StabilityRecord` into a :class:`StabilitySummary`."""
+    records = list(records)
+    joins = [r for r in records if r.kind == "join"]
+    leaves = [r for r in records if r.kind == "leave"]
+    rel = [
+        r.sender_delta / r.n_alive for r in records if r.n_alive > 0
+    ]
+    return StabilitySummary(
+        n_events=len(records),
+        n_joins=len(joins),
+        n_leaves=len(leaves),
+        max_join_own_disk_delta=max((r.own_disk_delta_max for r in joins), default=0),
+        max_join_receiver_delta=max((r.receiver_delta_max for r in joins), default=0),
+        max_leave_receiver_delta=max(
+            (r.receiver_delta_max for r in leaves), default=0
+        ),
+        max_sender_delta=max((r.sender_delta for r in records), default=0.0),
+        max_sender_delta_relative=max(rel, default=0.0),
+        always_connected=all(r.connected for r in records),
+        n_repaired_edges=sum(len(r.repaired_edges) for r in records),
+    )
+
+
 def removal_report(
     topology: Topology, index: int, *, rtol: float = RTOL, atol: float = ATOL
 ) -> dict:

@@ -29,6 +29,8 @@ class EventQueue:
         heapq.heappush(self._heap, (time, next(self._seq), callback))
 
     def pop(self) -> tuple[float, Callable[[], None]]:
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
         time, _, cb = heapq.heappop(self._heap)
         return time, cb
 

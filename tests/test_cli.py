@@ -31,6 +31,32 @@ class TestCli:
         assert main(["run", "fig1_robustness", "--seed", "11"]) == 0
         assert "Figure 1" in capsys.readouterr().out
 
+    def test_churn_subcommand(self, capsys, tmp_path):
+        out_json = tmp_path / "churn.json"
+        assert (
+            main(
+                [
+                    "churn",
+                    "--n",
+                    "25",
+                    "--events",
+                    "12",
+                    "--loss",
+                    "0.15",
+                    "--seed",
+                    "4",
+                    "--json",
+                    str(out_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "churn n=25" in out and "loss xtc p=0.15" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["experiment_id"] == "churn_resilience"
+        assert all(entry["match"] for entry in payload["data"]["loss"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -1,0 +1,153 @@
+"""Tests for protocol execution over the unreliable (lossy/crash) network."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    DistributedLmst,
+    DistributedNnf,
+    DistributedXtc,
+    Protocol,
+    SynchronousNetwork,
+    UnreliableNetwork,
+)
+from repro.faults import FaultPlan
+from repro.geometry.generators import random_udg_connected
+from repro.model.udg import unit_disk_graph
+
+
+@pytest.fixture(scope="module")
+def udg():
+    return unit_disk_graph(random_udg_connected(35, side=2.8, seed=202))
+
+
+ALL_PROTOCOLS = [DistributedNnf, DistributedXtc, DistributedLmst]
+
+
+class TestLosslessEquivalence:
+    """With a lossless plan the unreliable path is the synchronous path."""
+
+    @pytest.mark.parametrize("proto_cls", ALL_PROTOCOLS)
+    def test_identical_topology_and_messages(self, udg, proto_cls):
+        sync = SynchronousNetwork(udg).run(proto_cls())
+        lossy = UnreliableNetwork(udg).run(proto_cls())
+        assert np.array_equal(lossy.topology.edges, sync.topology.edges)
+        assert lossy.messages_per_round == sync.messages_per_round
+        assert lossy.meta["retransmissions"] == 0
+        assert lossy.meta["slots_per_round"] == [1] * proto_cls.n_rounds
+        # one ack per delivered data message
+        assert lossy.meta["ack_messages"] == sync.messages_total
+
+
+class TestConvergenceUnderLoss:
+    @pytest.mark.parametrize("proto_cls", ALL_PROTOCOLS)
+    @pytest.mark.parametrize("p", [0.1, 0.3])
+    def test_same_topology_as_lossless(self, udg, proto_cls, p):
+        sync = SynchronousNetwork(udg).run(proto_cls())
+        plan = FaultPlan(seed=7, p_drop=p, p_duplicate=0.05, p_delay=0.05)
+        lossy = UnreliableNetwork(udg, plan).run(proto_cls())
+        assert np.array_equal(lossy.topology.edges, sync.topology.edges)
+        assert lossy.meta["undelivered"] == 0
+        # overhead is real and reported
+        assert lossy.messages_total > sync.messages_total
+        assert lossy.meta["retransmissions"] > 0
+        assert lossy.meta["extra_slots"] > 0
+        assert lossy.meta["drops"] > 0
+
+    def test_overhead_grows_with_loss_rate(self, udg):
+        totals = []
+        for p in (0.0, 0.15, 0.3):
+            plan = FaultPlan(seed=3, p_drop=p)
+            totals.append(
+                UnreliableNetwork(udg, plan).run(DistributedXtc()).messages_total
+            )
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_deterministic_given_seed(self, udg):
+        plan = FaultPlan(seed=99, p_drop=0.25, p_delay=0.05)
+        a = UnreliableNetwork(udg, plan).run(DistributedXtc())
+        b = UnreliableNetwork(udg, plan).run(DistributedXtc())
+        assert np.array_equal(a.topology.edges, b.topology.edges)
+        assert a.messages_total == b.messages_total
+        assert a.meta["drops"] == b.meta["drops"]
+
+    def test_total_blackout_degrades_gracefully(self, udg):
+        plan = FaultPlan(seed=1, p_drop=1.0)
+        result = UnreliableNetwork(udg, plan, max_attempts=4).run(DistributedNnf())
+        # nobody heard anything: no nominations, no edges, faults accounted
+        assert result.topology.n_edges == 0
+        assert result.meta["undelivered"] > 0
+        assert result.meta["slots_per_round"] == [4]
+
+
+class TestCrashes:
+    def test_crashed_nodes_isolated_in_output(self, udg):
+        plan = FaultPlan(crashes={0: 0, 5: 1})
+        result = UnreliableNetwork(udg, plan).run(DistributedXtc())
+        assert result.meta["crashed"] == [0, 5]
+        assert result.topology.degrees[0] == 0
+        assert result.topology.degrees[5] == 0
+
+    def test_crash_after_last_round_keeps_node(self, udg):
+        # crash round == n_rounds means the node finished the protocol
+        plan = FaultPlan(crashes={3: DistributedNnf.n_rounds})
+        sync = SynchronousNetwork(udg).run(DistributedNnf())
+        result = UnreliableNetwork(udg, plan).run(DistributedNnf())
+        assert result.meta["crashed"] == []
+        assert np.array_equal(result.topology.edges, sync.topology.edges)
+
+    def test_survivors_still_match_centralized_shape(self, udg):
+        """Survivors run the protocol among themselves; output edges only
+        connect survivors and respect UDG adjacency."""
+        plan = FaultPlan(crashes={2: 0, 11: 0})
+        result = UnreliableNetwork(udg, plan).run(DistributedNnf())
+        for u, v in result.topology.edges:
+            assert u not in (2, 11) and v not in (2, 11)
+            assert udg.has_edge(int(u), int(v))
+
+
+class TestValidation:
+    def test_unknown_combine_rejected_everywhere(self, udg):
+        class Typo(DistributedNnf):
+            combine = "intersect"
+
+        with pytest.raises(ValueError, match="unknown combine"):
+            SynchronousNetwork(udg).run(Typo())
+        with pytest.raises(ValueError, match="unknown combine"):
+            UnreliableNetwork(udg).run(Typo())
+
+    def test_combine_checked_before_any_round(self, udg):
+        """The typo fails fast, not after burning protocol rounds."""
+
+        class Exploder(Protocol):
+            n_rounds = 1
+            combine = "both"
+
+            def init_state(self, node, position, neighbor_ids):
+                raise AssertionError("should not initialise state")
+
+            def send(self, round_idx, state):  # pragma: no cover
+                return None
+
+            def receive(self, round_idx, state, inbox):  # pragma: no cover
+                pass
+
+            def nominations(self, state):  # pragma: no cover
+                return []
+
+        with pytest.raises(ValueError, match="unknown combine"):
+            SynchronousNetwork(udg).run(Exploder())
+        with pytest.raises(ValueError, match="unknown combine"):
+            UnreliableNetwork(udg).run(Exploder())
+
+    def test_max_attempts_validation(self, udg):
+        with pytest.raises(ValueError):
+            UnreliableNetwork(udg, max_attempts=0)
+
+    def test_invalid_nomination_still_rejected(self, udg):
+        class Cheater(DistributedNnf):
+            def nominations(self, state):
+                return [state["id"] + 1000]
+
+        with pytest.raises(RuntimeError, match="non-neighbours"):
+            UnreliableNetwork(udg).run(Cheater())

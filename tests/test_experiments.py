@@ -31,6 +31,7 @@ class TestRegistry:
             "gathering",
             "distributed_tc",
             "ablation_agen_spacing",
+            "churn_resilience",
         }
         assert expected <= set(experiments.REGISTRY)
 
@@ -153,6 +154,26 @@ class TestClaims:
     def test_distributed(self):
         r = experiments.run("distributed_tc", n=40)
         assert all(r.data["matches"].values())
+
+    def test_churn_resilience(self):
+        r = experiments.run(
+            "churn_resilience",
+            sizes=(15, 30),
+            n_events=20,
+            loss_rates=(0.2,),
+            loss_n=25,
+        )
+        # the robustness bound, dynamically: one new disk adds at most 1
+        assert all(c["max_join_own_disk_delta"] <= 1 for c in r.data["churn"])
+        # Figure 1 separation: the straggler's sender-centric jump is Theta(n)
+        deltas = [c["max_sender_delta"] for c in r.data["churn"]]
+        assert deltas[1] > deltas[0]
+        assert all(d >= 0.5 * c["n"] for d, c in zip(deltas, r.data["churn"]))
+        # local repair never loses survivor connectivity
+        assert all(c["always_connected"] for c in r.data["churn"])
+        # protocols converge to the lossless topology under p = 0.2 loss
+        assert all(e["match"] for e in r.data["loss"])
+        assert all(e["overhead"] > 1.0 for e in r.data["loss"])
 
     def test_ablation_spacing(self):
         r = experiments.run("ablation_agen_spacing")

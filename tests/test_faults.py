@@ -1,0 +1,246 @@
+"""Tests for the fault-injection subsystem: plans, schedules, churn engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import ChurnEngine, ChurnEvent, ChurnSchedule, FaultPlan
+from repro.geometry.generators import random_uniform_square
+from repro.graphs.mst import euclidean_mst_edges
+from repro.interference.receiver import node_interference
+from repro.interference.robustness import stability_summary
+from repro.model.topology import Topology
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(p_drop=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(p_drop=0.6, p_duplicate=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(max_delay=0)
+        with pytest.raises(ValueError):
+            FaultPlan(crashes={-1: 0})
+
+    def test_deterministic_and_order_independent(self):
+        a = FaultPlan(seed=5, p_drop=0.3, p_duplicate=0.1, p_delay=0.1)
+        b = FaultPlan(seed=5, p_drop=0.3, p_duplicate=0.1, p_delay=0.1)
+        coords = [(r, t, u, v) for r in range(2) for t in range(3) for u in range(4) for v in range(4) if u != v]
+        fwd = [a.link_outcome(*c) for c in coords]
+        rev = [b.link_outcome(*c) for c in reversed(coords)]
+        assert fwd == list(reversed(rev))
+        assert [a.ack_dropped(*c) for c in coords] == [
+            b.ack_dropped(*c) for c in coords
+        ]
+
+    def test_different_seeds_differ(self):
+        coords = [(0, 0, u, v) for u in range(20) for v in range(20) if u != v]
+        a = [FaultPlan(seed=1, p_drop=0.5).link_outcome(*c) for c in coords]
+        b = [FaultPlan(seed=2, p_drop=0.5).link_outcome(*c) for c in coords]
+        assert a != b
+
+    def test_rates_roughly_honored(self):
+        plan = FaultPlan(seed=9, p_drop=0.3, p_duplicate=0.1, p_delay=0.1)
+        outcomes = [
+            plan.link_outcome(r, 0, u, v)[0]
+            for r in range(5)
+            for u in range(20)
+            for v in range(20)
+            if u != v
+        ]
+        n = len(outcomes)
+        assert 0.25 < outcomes.count("drop") / n < 0.35
+        assert 0.05 < outcomes.count("duplicate") / n < 0.15
+        assert 0.05 < outcomes.count("delay") / n < 0.15
+        assert 0.4 < outcomes.count("deliver") / n < 0.6
+
+    def test_delay_bounds(self):
+        plan = FaultPlan(seed=2, p_delay=1.0, max_delay=3)
+        delays = {
+            plan.link_outcome(0, t, u, u + 1)[1]
+            for t in range(5)
+            for u in range(30)
+        }
+        assert delays <= {1, 2, 3}
+        assert len(delays) > 1
+
+    def test_lossless_never_faults(self):
+        plan = FaultPlan.lossless()
+        assert plan.link_outcome(3, 7, 1, 2) == ("deliver", 0)
+        assert not plan.ack_dropped(3, 7, 1, 2)
+
+    def test_crash_queries(self):
+        plan = FaultPlan(crashes={4: 1})
+        assert plan.crash_round(4) == 1
+        assert plan.crash_round(0) is None
+        assert not plan.is_crashed(4, 0)
+        assert plan.is_crashed(4, 1)
+        assert plan.is_crashed(4, 5)
+
+    def test_bernoulli_factory(self):
+        plan = FaultPlan.bernoulli(0.25, seed=3)
+        assert plan.p_drop == 0.25
+        assert plan.p_duplicate == plan.p_delay == 0.0
+
+
+class TestChurnSchedule:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            ChurnEvent("explode")
+        with pytest.raises(ValueError):
+            ChurnEvent("join")  # needs a position
+        ChurnEvent("leave")  # fine without one
+
+    def test_random_deterministic(self):
+        a = ChurnSchedule.random(25, side=4.0, seed=7)
+        b = ChurnSchedule.random(25, side=4.0, seed=7)
+        assert a.events == b.events
+        assert len(a) == 25
+
+    def test_random_contains_stragglers(self):
+        sched = ChurnSchedule.random(
+            40, side=4.0, seed=1, leave_fraction=0.0, straggler_every=4
+        )
+        stragglers = [e for e in sched if e.straggler]
+        assert len(stragglers) == 10
+        for e in stragglers:
+            d = math.hypot(e.position[0] - 2.0, e.position[1] - 2.0)
+            assert d >= 2.5 * 4.0 - 1e-9
+
+    def test_join_positions_shape(self):
+        sched = ChurnSchedule.random(30, side=2.0, seed=3)
+        joins = [e for e in sched if e.kind == "join"]
+        assert sched.join_positions.shape == (len(joins), 2)
+
+    def test_random_validation(self):
+        with pytest.raises(ValueError):
+            ChurnSchedule.random(0, side=1.0)
+        with pytest.raises(ValueError):
+            ChurnSchedule.random(5, side=-1.0)
+        with pytest.raises(ValueError):
+            ChurnSchedule.random(5, side=1.0, leave_fraction=1.0)
+        with pytest.raises(ValueError):
+            ChurnSchedule.random(5, side=1.0, straggler_every=0)
+
+
+def _emst_instance(n, seed, side=None):
+    side = side if side is not None else math.sqrt(n)
+    pos = random_uniform_square(n, side=side, seed=seed)
+    return Topology(pos, euclidean_mst_edges(pos)), side
+
+
+class TestChurnEngine:
+    def test_join_attaches_to_nearest(self):
+        topo = Topology(
+            np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]]),
+            [(0, 1), (1, 2)],
+        )
+        sched = ChurnSchedule(events=(ChurnEvent("join", position=(2.2, 0.0)),))
+        eng = ChurnEngine(topo, sched)
+        rec = eng.apply(sched.events[0])
+        assert rec.kind == "join"
+        cur = eng.current_topology()
+        assert cur.n == 4
+        assert cur.has_edge(2, 3)  # nearest alive node is index 2
+        assert rec.connected
+
+    def test_leave_with_local_repair(self):
+        # star: removing the hub disconnects everything; repair must re-patch
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [-1.0, 0.0], [0.0, 1.0]])
+        topo = Topology(pos, [(0, 1), (0, 2), (0, 3)])
+        # salt 0 picks alive[0] == the hub
+        sched = ChurnSchedule(events=(ChurnEvent("leave", salt=0),))
+        eng = ChurnEngine(topo, sched)
+        rec = eng.apply(sched.events[0])
+        assert rec.node == 0
+        assert rec.connected
+        assert len(rec.repaired_edges) == 2  # 3 components -> 2 patches
+        assert eng.current_topology().is_connected()
+
+    def test_leave_guard_rails(self):
+        topo = Topology(np.array([[0.0, 0.0], [1.0, 0.0]]), [(0, 1)])
+        sched = ChurnSchedule(events=(ChurnEvent("leave", salt=3),))
+        eng = ChurnEngine(topo, sched)
+        assert eng.apply(sched.events[0]) is None
+        assert eng.skipped == [0]
+        assert eng.current_topology().n == 2
+
+    def test_own_disk_delta_bounded_randomized(self):
+        for seed in (0, 1, 2):
+            topo, side = _emst_instance(30, seed)
+            sched = ChurnSchedule.random(30, side=side, seed=100 + seed)
+            eng = ChurnEngine(topo, sched)
+            summary = eng.run()
+            assert summary.max_join_own_disk_delta <= 1
+            assert summary.own_disk_bound_holds
+            assert summary.always_connected
+
+    def test_tracker_matches_recompute_after_churn(self):
+        """The incremental interference state must equal a from-scratch
+        receiver recomputation of the survivor topology after a full run."""
+        topo, side = _emst_instance(25, 42)
+        sched = ChurnSchedule.random(35, side=side, seed=43)
+        eng = ChurnEngine(topo, sched)
+        eng.run()
+        cur = eng.current_topology()
+        np.testing.assert_array_equal(
+            eng.tracker.node_interference()[eng.alive_nodes],
+            node_interference(cur),
+        )
+
+    def test_straggler_sender_jump(self):
+        topo, side = _emst_instance(40, 5)
+        straggler = ChurnEvent(
+            "join", position=(3.0 * side, 0.5 * side), straggler=True
+        )
+        eng = ChurnEngine(topo, ChurnSchedule(events=(straggler,)))
+        rec = eng.apply(straggler)
+        # the attachment edge's disks cover (almost) the whole network
+        assert rec.sender_delta >= 0.8 * 40
+        assert rec.own_disk_delta_max <= 1
+        assert rec.straggler
+
+    def test_records_and_summary_consistency(self):
+        topo, side = _emst_instance(20, 8)
+        sched = ChurnSchedule.random(20, side=side, seed=9)
+        eng = ChurnEngine(topo, sched)
+        summary = eng.run()
+        assert summary.n_events == len(eng.records)
+        assert summary.n_events + len(eng.skipped) == len(sched)
+        assert summary == stability_summary(eng.records)
+        joins = [r for r in eng.records if r.kind == "join"]
+        assert summary.n_joins == len(joins)
+        for rec in eng.records:
+            assert rec.n_alive >= 2
+        for rec in joins:
+            # per-victim: total delta = own disk + growth, so the maxima obey
+            assert rec.receiver_delta_max <= rec.own_disk_delta_max + rec.growth_delta_max
+
+    def test_too_many_joins_rejected(self):
+        topo = Topology(np.array([[0.0, 0.0], [1.0, 0.0]]), [(0, 1)])
+        event = ChurnEvent("join", position=(0.5, 0.5))
+        eng = ChurnEngine(topo, ChurnSchedule(events=(event,)))
+        eng.apply(event)
+        with pytest.raises(RuntimeError, match="pre-allocated"):
+            eng.apply(event)
+
+    def test_engine_validation(self):
+        topo = Topology(np.array([[0.0, 0.0], [1.0, 0.0]]), [(0, 1)])
+        sched = ChurnSchedule(events=())
+        with pytest.raises(ValueError):
+            ChurnEngine(topo, sched, attach_k=0)
+        with pytest.raises(ValueError):
+            ChurnEngine(topo, sched, min_alive=1)
+
+    def test_attach_k_multiple_anchors(self):
+        topo = Topology(
+            np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]]),
+            [(0, 1), (1, 2)],
+        )
+        event = ChurnEvent("join", position=(1.0, 0.5))
+        eng = ChurnEngine(topo, ChurnSchedule(events=(event,)), attach_k=2)
+        eng.apply(event)
+        cur = eng.current_topology()
+        assert cur.degrees[3] == 2

@@ -68,6 +68,64 @@ class TestAgainstRecompute:
         assert tr.interference_of(1) == 1
 
 
+class TestInterleavedProperty:
+    """Randomized property: any interleaving of grows, shrinks, grow_to and
+    deactivations leaves the tracker equal to a from-scratch receiver-style
+    recomputation — the invariant the churn engine depends on."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_interleaved_ops_match_recompute(self, seed):
+        n = 20
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0.0, 3.0, size=(n, 2))
+        tr = InterferenceTracker(pos)
+        radii = np.zeros(n)
+        active = np.zeros(n, dtype=bool)
+        for step in range(120):
+            u = int(rng.integers(n))
+            op = rng.random()
+            if op < 0.4:  # grow or shrink to an arbitrary radius
+                r = float(rng.uniform(0.0, 3.5))
+                tr.set_radius(u, r)
+                radii[u], active[u] = r, True
+            elif op < 0.7:  # monotone grow (the a_exp/churn fast path)
+                r = float(rng.uniform(0.0, 3.5))
+                tr.grow_to(u, r)
+                if not active[u] or r > radii[u]:
+                    radii[u], active[u] = r, True
+            else:  # node drops all edges
+                tr.deactivate(u)
+                radii[u], active[u] = 0.0, False
+            if step % 10 == 0 or step == 119:
+                ref = _reference_counts(pos, radii, active)
+                np.testing.assert_array_equal(tr.node_interference(), ref)
+                assert tr.graph_interference() == int(ref.max())
+        # final full check plus peek_max_after must not have mutated state
+        before = tr.node_interference()
+        tr.peek_max_after([(0, 1.0), (1, 0.0)])
+        np.testing.assert_array_equal(tr.node_interference(), before)
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_matches_receiver_on_reconstructed_topology(self, seed):
+        """When the tracked radii are realisable by an edge set (distances
+        to farthest chosen neighbours), the tracker agrees with
+        node_interference on that Topology exactly."""
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0.0, 2.5, size=(15, 2))
+        edges = set()
+        for u in range(15):
+            v = int(rng.integers(15))
+            if v != u:
+                edges.add((min(u, v), max(u, v)))
+        t = Topology(pos, np.array(sorted(edges), dtype=np.int64))
+        tr = InterferenceTracker(pos)
+        order = rng.permutation(15)
+        for u in map(int, order):
+            if t.degrees[u] > 0:
+                tr.set_radius(u, float(t.radii[u]))
+        np.testing.assert_array_equal(tr.node_interference(), node_interference(t))
+
+
 def _reference_counts(pos, radii, active):
     t = Topology(pos, ())
     counts = np.zeros(len(pos), dtype=np.int64)

@@ -19,6 +19,14 @@ class TestEventQueue:
             cb()
         assert fired == ["a", "b", "c"]
 
+    def test_pop_empty_raises_clear_error(self):
+        q = EventQueue()
+        with pytest.raises(IndexError, match="pop from empty EventQueue"):
+            q.pop()
+        # still empty and usable afterwards
+        q.push(1.0, lambda: None)
+        assert len(q) == 1
+
     def test_fifo_tie_break(self):
         q = EventQueue()
         fired = []
