@@ -1,0 +1,80 @@
+"""P2: sweep runner — serial vs parallel vs warm-cache execution.
+
+Measures the same fixed task set three ways:
+
+- ``serial``: one process, no cache (the pre-runner ``run_all`` regime);
+- ``parallel``: two workers, no cache (pure process-pool speedup);
+- ``warm-cache``: one process against a fully-populated cache (every task
+  a hit — the target regime for repeated report/sweep invocations, which
+  the acceptance criterion requires to be >= 10x faster than serial).
+
+Single-round pedantic benchmarks: spawning pools and populating caches
+inside the default calibration loop would swamp the signal.
+"""
+
+import pytest
+
+from repro.runner import ResultCache, SweepTask, run_sweep
+
+#: A representative slice of the registry: mixed cost, deterministic.
+SWEEP_TASKS = [
+    SweepTask("fig2_sample"),
+    SweepTask("fig7_linear_chain", {"sizes": (4, 16, 64)}),
+    SweepTask("fig1_robustness", {"sizes": (10, 20, 40)}),
+    SweepTask("thm41_nnf", {"ms": (4, 8, 16)}),
+    SweepTask("thm54_agen"),
+    SweepTask("tdma_scheduling"),
+]
+
+
+@pytest.mark.benchmark(group="sweep-runner")
+def test_sweep_serial(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: run_sweep(SWEEP_TASKS, workers=1), rounds=3, iterations=1
+    )
+    assert outcome.manifest.n_misses == len(SWEEP_TASKS)
+
+
+@pytest.mark.benchmark(group="sweep-runner")
+def test_sweep_parallel_two_workers(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: run_sweep(SWEEP_TASKS, workers=2), rounds=3, iterations=1
+    )
+    assert outcome.manifest.n_misses == len(SWEEP_TASKS)
+
+
+@pytest.mark.benchmark(group="sweep-runner")
+def test_sweep_warm_cache(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_sweep(SWEEP_TASKS, workers=1, cache=cache)
+    assert cold.manifest.n_misses == len(SWEEP_TASKS)
+
+    outcome = benchmark.pedantic(
+        lambda: run_sweep(SWEEP_TASKS, workers=1, cache=cache),
+        rounds=5,
+        iterations=1,
+    )
+    assert outcome.manifest.n_hits == len(SWEEP_TASKS)
+    # the acceptance bar: a warm sweep is >= 10x faster than computing
+    warm_wall = outcome.manifest.wall_time_s
+    assert warm_wall * 10 <= cold.manifest.wall_time_s, (
+        f"warm sweep {warm_wall:.3f}s not 10x faster than "
+        f"cold {cold.manifest.wall_time_s:.3f}s"
+    )
+
+
+@pytest.mark.benchmark(group="sweep-runner")
+def test_sweep_seed_grid_parallel(benchmark):
+    """Seed-replicated grid (the Devroye-Morin random-instance pattern)."""
+    from repro.runner import expand_grid
+
+    tasks = expand_grid(
+        ["fig1_robustness"],
+        params={"sizes": [[10, 20]]},
+        n_seeds=6,
+        base_seed=42,
+    )
+    outcome = benchmark.pedantic(
+        lambda: run_sweep(tasks, workers=2), rounds=3, iterations=1
+    )
+    assert outcome.manifest.n_tasks == 6

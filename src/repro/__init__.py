@@ -33,6 +33,7 @@ from repro.highway.a_apx import a_apx
 from repro.highway.a_exp import a_exp
 from repro.highway.a_gen import a_gen
 from repro.highway.linear import linear_chain
+from repro.runner import ResultCache, SweepTask, expand_grid, run_sweep
 
 __version__ = "1.0.0"
 
@@ -56,5 +57,9 @@ __all__ = [
     "FaultPlan",
     "ChurnSchedule",
     "ChurnEngine",
+    "ResultCache",
+    "SweepTask",
+    "expand_grid",
+    "run_sweep",
     "__version__",
 ]

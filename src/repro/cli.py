@@ -5,13 +5,35 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run fig8_aexp
     python -m repro.cli run all --json-dir results/
+    python -m repro.cli sweep --workers 4            # full registry, cached
+    python -m repro.cli sweep fig8_aexp --seeds 5 --param 'sizes=[[16,64],[16,256]]'
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
+
+
+def _parse_param(text: str) -> tuple[str, list]:
+    """Parse one ``--param key=VALUES`` grid axis.
+
+    ``VALUES`` is parsed as JSON; a JSON array lists the grid values for
+    the axis, any other JSON value (or a bare string) is a single value.
+    To sweep over list-valued kwargs, nest: ``sizes=[[16,64],[16,256]]``.
+    """
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--param expects key=VALUES, got {text!r}"
+        )
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value if isinstance(value, list) else [value]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -43,6 +65,63 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--out", type=Path, required=True, help="output markdown path")
     rep.add_argument(
         "--csv-dir", type=Path, default=None, help="also export tables as CSV"
+    )
+    rep.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: serial)"
+    )
+    rep.add_argument(
+        "--no-cache", action="store_true", help="recompute without the result cache"
+    )
+    rep.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    sweep = sub.add_parser(
+        "sweep",
+        help="expand an experiment/parameter/seed grid, run it in parallel "
+        "with content-addressed result caching",
+    )
+    sweep.add_argument(
+        "experiments", nargs="*", default=[],
+        help="experiment ids (default: the full registry)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: serial)"
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache entirely"
+    )
+    sweep.add_argument(
+        "--force", action="store_true",
+        help="recompute every task, overwriting existing cache entries",
+    )
+    sweep.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    sweep.add_argument(
+        "--manifest", type=Path, default=Path("results/sweep_manifest.json"),
+        help="run-manifest JSON output path",
+    )
+    sweep.add_argument(
+        "--json-dir", type=Path, default=None,
+        help="write one <id>[.<k>].json payload per task into this directory",
+    )
+    sweep.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUES",
+        help="grid axis: JSON array of values (repeatable); e.g. "
+        "--param 'sizes=[[16,64],[16,256]]'",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, default=None,
+        help="replicate each combination under K seeds derived via "
+        "SeedSequence(base_seed).spawn(K)",
+    )
+    sweep.add_argument(
+        "--base-seed", type=int, default=0, help="root seed for --seeds derivation"
+    )
+    sweep.add_argument(
+        "--render", action="store_true", help="print each result's full table"
     )
     churn = sub.add_parser(
         "churn",
@@ -86,16 +165,25 @@ def _main(argv: list[str] | None = None) -> int:
 
     if args.command == "report":
         from repro.experiments.report import write_csvs, write_report
+        from repro.runner import ResultCache, SweepTask, run_sweep
 
-        results = experiments.run_all()
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        outcome = run_sweep(
+            [SweepTask(eid) for eid in sorted(experiments.REGISTRY)],
+            workers=args.workers,
+            cache=cache,
+        )
         path = write_report(
-            results, args.out, title="Reproduction report — all experiments"
+            outcome.results, args.out, title="Reproduction report — all experiments"
         )
         print(f"wrote {path}")
         if args.csv_dir is not None:
-            for p in write_csvs(results, args.csv_dir):
+            for p in write_csvs(outcome.results, args.csv_dir):
                 print(f"wrote {p}")
         return 0
+
+    if args.command == "sweep":
+        return _sweep(args, experiments)
 
     if args.command == "churn":
         result = experiments.run(
@@ -133,6 +221,63 @@ def _main(argv: list[str] | None = None) -> int:
 
             for p in write_csvs([result], args.csv_dir):
                 print(f"  wrote {p}")
+    return 0
+
+
+def _sweep(args, experiments) -> int:
+    from repro.runner import ResultCache, expand_grid, run_sweep
+
+    ids = args.experiments or sorted(experiments.REGISTRY)
+    for eid in ids:
+        experiments.get(eid)  # fail fast on unknown ids
+    params: dict[str, list] = {}
+    for key, values in (_parse_param(p) for p in args.param):
+        params.setdefault(key, []).extend(values)
+    tasks = expand_grid(
+        ids, params=params, n_seeds=args.seeds, base_seed=args.base_seed
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(record):
+        tag = "hit " if record.cache_hit else "miss"
+        extra = f" [{record.status}]" if record.status != "ok" else ""
+        kw = f" {record.kwargs}" if record.kwargs else ""
+        print(
+            f"  [{tag}] {record.experiment_id}{kw} "
+            f"{record.wall_time_s:.3f}s (worker {record.worker_id}){extra}"
+        )
+
+    outcome = run_sweep(
+        tasks,
+        workers=args.workers,
+        cache=cache,
+        force=args.force,
+        manifest_path=args.manifest,
+        progress=progress,
+    )
+    manifest = outcome.manifest
+    if args.json_dir is not None:
+        args.json_dir.mkdir(parents=True, exist_ok=True)
+        seen: dict[str, int] = {}
+        for result in outcome.results:
+            k = seen.get(result.experiment_id, 0)
+            seen[result.experiment_id] = k + 1
+            suffix = f".{k}" if k else ""
+            path = args.json_dir / f"{result.experiment_id}{suffix}.json"
+            path.write_text(result.to_json())
+            print(f"  wrote {path}")
+    if args.render:
+        for result in outcome.results:
+            print(result.render())
+            print()
+    print(
+        f"sweep: {manifest.n_tasks} task(s), {manifest.n_hits} cache hit(s), "
+        f"{manifest.n_misses} miss(es), wall {manifest.wall_time_s:.2f}s "
+        f"(task time {manifest.total_task_time_s:.2f}s, "
+        f"workers {manifest.workers})"
+    )
+    if args.manifest is not None:
+        print(f"  manifest: {args.manifest}")
     return 0
 
 

@@ -1,4 +1,14 @@
-"""Experiment registration and execution plumbing."""
+"""Experiment registration and execution plumbing.
+
+Results are JSON round-trip safe: ``ExperimentResult.to_jsonable`` /
+``from_jsonable`` use the strict encoding of
+:mod:`repro.experiments.serialize` (numpy arrays and non-finite floats
+survive the round trip; unknown types raise instead of being stringified).
+The sweep runner (:mod:`repro.runner`) relies on this to ship results
+across process boundaries and through the on-disk cache, and dispatches
+work to subprocesses by *experiment id* via :func:`run_payload` — the
+registered function itself never needs to cross a pickle boundary.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +18,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.analysis.tables import format_table
+from repro.experiments.serialize import decode_jsonable, encode_jsonable
 
 
 @dataclass
@@ -35,35 +46,44 @@ class ExperimentResult:
         parts.append(f"  (elapsed: {self.elapsed_s:.2f}s)")
         return "\n".join(parts)
 
+    def to_jsonable(self) -> dict:
+        """Strictly-JSON-safe payload; inverse of :meth:`from_jsonable`."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": encode_jsonable(self.headers),
+            "rows": encode_jsonable(self.rows),
+            "notes": encode_jsonable(self.notes),
+            "figures": encode_jsonable(self.figures),
+            "data": encode_jsonable(self.data),
+            "elapsed_s": float(self.elapsed_s),
+        }
+
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "experiment_id": self.experiment_id,
-                "title": self.title,
-                "headers": self.headers,
-                "rows": self.rows,
-                "notes": self.notes,
-                "data": self.data,
-                "elapsed_s": self.elapsed_s,
-            },
-            default=_jsonable,
-            indent=2,
+        return json.dumps(self.to_jsonable(), indent=2, allow_nan=False)
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_jsonable` output.
+
+        Numpy arrays and non-finite floats are restored exactly; tuples
+        come back as lists (the one documented asymmetry of the encoding).
+        """
+        decoded = decode_jsonable(payload)
+        return cls(
+            experiment_id=decoded["experiment_id"],
+            title=decoded["title"],
+            headers=decoded["headers"],
+            rows=decoded["rows"],
+            notes=decoded.get("notes", []),
+            figures=decoded.get("figures", []),
+            data=decoded.get("data", {}),
+            elapsed_s=decoded.get("elapsed_s", 0.0),
         )
 
-
-def _jsonable(obj):
-    try:
-        import numpy as np
-
-        if isinstance(obj, np.integer):
-            return int(obj)
-        if isinstance(obj, np.floating):
-            return float(obj)
-        if isinstance(obj, np.ndarray):
-            return obj.tolist()
-    except ImportError:  # pragma: no cover
-        pass
-    return str(obj)
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_jsonable(json.loads(text))
 
 
 @dataclass(frozen=True)
@@ -112,5 +132,31 @@ def run(experiment_id: str, **kwargs) -> ExperimentResult:
     return get(experiment_id).run(**kwargs)
 
 
-def run_all(**kwargs) -> list[ExperimentResult]:
-    return [exp.run(**kwargs) for _, exp in sorted(REGISTRY.items())]
+def run_payload(experiment_id: str, kwargs: dict | None = None) -> dict:
+    """Run one experiment and return its JSON-safe payload.
+
+    This is the worker entry point of the sweep runner: it is a plain
+    module-level function (picklable by reference, spawn-safe), it imports
+    the experiments package itself so a fresh interpreter has the registry
+    populated, and it returns only strictly-JSON-safe data so the parent
+    can cache it byte-for-byte.
+    """
+    import repro.experiments  # noqa: F401  (side effect: fills REGISTRY)
+
+    result = get(experiment_id).run(**(kwargs or {}))
+    return result.to_jsonable()
+
+
+def run_all(*, workers: int | None = None, **kwargs) -> list[ExperimentResult]:
+    """Run every registered experiment (sorted by id) through the runner.
+
+    ``workers=None``/``0``/``1`` executes serially in-process (results are
+    the original in-memory objects); ``workers >= 2`` fans tasks out to a
+    process pool, in which case results are reconstructed from their JSON
+    payloads (identical ``rows``/``data`` by the round-trip guarantee).
+    """
+    from repro.runner import SweepTask, run_sweep
+
+    tasks = [SweepTask(eid, dict(kwargs)) for eid in sorted(REGISTRY)]
+    outcome = run_sweep(tasks, workers=workers, cache=None)
+    return outcome.results

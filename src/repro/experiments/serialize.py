@@ -1,0 +1,129 @@
+"""Strict, loss-free JSON encoding for experiment payloads.
+
+The sweep runner round-trips every :class:`ExperimentResult` through JSON
+(worker -> parent, parent -> cache, cache -> warm run), so serialization
+must be *exact* and *strict*:
+
+- exact: a payload decoded from JSON must reconstruct the original values,
+  including numpy arrays (dtype preserved) and non-finite floats, so that a
+  cache hit is indistinguishable from a fresh run;
+- strict: an object we do not know how to round-trip raises ``TypeError``
+  at encode time instead of being silently stringified, and non-finite
+  floats are encoded explicitly instead of relying on the non-standard
+  ``NaN``/``Infinity`` tokens ``json.dumps`` emits by default (which many
+  parsers reject and which do not round-trip through strict readers).
+
+Encoding rules
+--------------
+- ``None``, ``bool``, ``int``, ``str`` and finite ``float`` pass through;
+- non-finite floats become ``{"__nonfinite__": "nan" | "inf" | "-inf"}``;
+- numpy scalars become the equivalent Python scalar;
+- numpy arrays become ``{"__ndarray__": <nested list>, "dtype": <str>}``;
+- ``list``/``tuple`` become JSON lists (tuples decode as lists — document
+  payloads accordingly);
+- ``dict`` keys must be strings and must not collide with the reserved
+  sentinel keys above;
+- anything else raises ``TypeError``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+
+#: Reserved sentinel keys; user dicts must not contain them.
+RESERVED_KEYS = frozenset({"__nonfinite__", "__ndarray__"})
+
+_NONFINITE_ENCODE = {math.inf: "inf", -math.inf: "-inf"}
+_NONFINITE_DECODE = {
+    "nan": math.nan,
+    "inf": math.inf,
+    "-inf": -math.inf,
+}
+
+
+def _encode_float(value: float):
+    if math.isfinite(value):
+        return float(value)
+    if math.isnan(value):
+        return {"__nonfinite__": "nan"}
+    return {"__nonfinite__": _NONFINITE_ENCODE[value]}
+
+
+def encode_jsonable(obj):
+    """Recursively convert ``obj`` to a strictly-JSON-safe structure.
+
+    Raises ``TypeError`` for any value that cannot be round-tripped.
+    """
+    if obj is None:
+        return None
+    if isinstance(obj, (bool, np.bool_)):
+        return bool(obj)
+    if isinstance(obj, str):
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return _encode_float(float(obj))
+    if isinstance(obj, np.ndarray):
+        return {
+            "__ndarray__": encode_jsonable(obj.tolist()),
+            "dtype": str(obj.dtype),
+        }
+    if isinstance(obj, (list, tuple)):
+        return [encode_jsonable(item) for item in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"dict keys must be str for JSON round-tripping, got "
+                    f"{type(key).__name__}: {key!r}"
+                )
+            if key in RESERVED_KEYS:
+                raise TypeError(f"dict key {key!r} is reserved for encoding")
+            out[key] = encode_jsonable(value)
+        return out
+    raise TypeError(
+        f"cannot serialize object of type {type(obj).__name__} ({obj!r}); "
+        "experiment payloads must consist of None/bool/int/float/str, "
+        "lists/tuples, str-keyed dicts, and numpy scalars/arrays"
+    )
+
+
+def decode_jsonable(obj):
+    """Inverse of :func:`encode_jsonable` (tuples come back as lists)."""
+    if isinstance(obj, dict):
+        if set(obj) == {"__nonfinite__"}:
+            return _NONFINITE_DECODE[obj["__nonfinite__"]]
+        if set(obj) == {"__ndarray__", "dtype"}:
+            return np.array(
+                decode_jsonable(obj["__ndarray__"]), dtype=np.dtype(obj["dtype"])
+            )
+        return {key: decode_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [decode_jsonable(item) for item in obj]
+    return obj
+
+
+def dumps_strict(obj, **kwargs) -> str:
+    """``json.dumps`` of the strict encoding (``allow_nan=False`` enforced)."""
+    kwargs.setdefault("allow_nan", False)
+    return json.dumps(encode_jsonable(obj), **kwargs)
+
+
+def canonical_dumps(obj) -> str:
+    """Deterministic compact encoding used for cache keys."""
+    return json.dumps(
+        encode_jsonable(obj),
+        allow_nan=False,
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def loads_strict(text: str):
+    """Parse JSON and decode the sentinel encodings back to Python values."""
+    return decode_jsonable(json.loads(text))

@@ -84,8 +84,12 @@ class GridIndex:
             return np.empty(0, dtype=np.int64)
         cand = np.concatenate(candidate_blocks)
         diff = self.positions[cand] - center
-        d2 = diff[:, 0] ** 2 + diff[:, 1] ** 2
-        hits = cand[d2 <= radius * radius]
+        # hypot, not squared distance: d*d underflows to 0 for sub-1e-154
+        # gaps (normalized exponential chains reach denormals), which would
+        # classify points as inside disks that exclude them. hypot keeps the
+        # predicate bitwise-identical to the brute-force kernels.
+        d = np.hypot(diff[:, 0], diff[:, 1])
+        hits = cand[d <= radius]
         hits.sort()
         return hits
 

@@ -22,6 +22,8 @@ tests and performance benchmarks.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.geometry.spatial import GridIndex
@@ -37,6 +39,32 @@ ATOL = 0.0
 
 _CHUNK = 1024
 
+#: ``method="auto"`` switches from the vectorized O(n^2) kernel to the grid
+#: kernel above this node count. Calibrated on the constant-density
+#: instances of ``benchmarks/bench_perf_kernels.py`` (EMST over
+#: ``random_udg_connected``, Linux/x86-64, numpy 1.26): brute wins up to
+#: n ~ 500 (2ms @ 250, 8ms @ 500), the kernels tie around n ~ 700-1000
+#: (grid 20ms vs brute 35ms @ 1000) and grid wins decisively beyond
+#: (77ms vs 550ms @ 4000, 167ms vs 2480ms @ 8000). 1024 sits just above
+#: the measured tie so dense small instances keep the cheaper vectorized
+#: pass; density pathologies above the threshold are handled inside
+#: ``_interference_grid``, which falls back to brute when the grid cannot
+#: prune (see ``GRID_COVERAGE_FALLBACK``).
+AUTO_GRID_MIN_N = 1024
+
+#: The grid kernel clamps its cell size so each axis has at most
+#: ``GRID_CELLS_PER_AXIS_SCALE * sqrt(n)`` cells (~16n cells total):
+#: radii spanning many orders of magnitude (exponential chains) otherwise
+#: pick a median-radius cell so small that a single span-scale query
+#: enumerates astronomically many cells.
+GRID_CELLS_PER_AXIS_SCALE = 4.0
+
+#: Fall back to the brute kernel when the average query disk's bounding
+#: box covers more than this fraction of the instance extent — the grid
+#: cannot prune such workloads and only adds per-cell Python overhead on
+#: top of the same point scans.
+GRID_COVERAGE_FALLBACK = 0.25
+
 
 def node_interference(
     topology: Topology,
@@ -48,13 +76,15 @@ def node_interference(
     """Per-node receiver-centric interference vector ``I(v)`` (int64).
 
     ``method`` is ``"brute"`` (vectorized O(n^2), chunked), ``"grid"``
-    (spatial index, near-linear for bounded density) or ``"auto"``.
+    (spatial index, near-linear for bounded density) or ``"auto"``
+    (brute below ``AUTO_GRID_MIN_N`` nodes, grid above; the grid kernel
+    itself degrades gracefully to brute on instances it cannot prune).
     """
     n = topology.n
     if n == 0:
         return np.empty(0, dtype=np.int64)
     if method == "auto":
-        method = "grid" if n > 4000 else "brute"
+        method = "grid" if n > AUTO_GRID_MIN_N else "brute"
     if method == "brute":
         return _interference_brute(topology, rtol, atol)
     if method == "grid":
@@ -84,11 +114,33 @@ def _interference_grid(topology: Topology, rtol: float, atol: float) -> np.ndarr
     pos = topology.positions
     radii = topology.radii
     r_eff = radii * (1.0 + rtol) + atol
+    n = topology.n
     positive = radii[radii > 0]
-    cell = float(np.median(positive)) if positive.size else 1.0
-    index = GridIndex(pos, cell_size=max(cell, atol if atol > 0 else 1e-12))
-    counts = np.zeros(topology.n, dtype=np.int64)
-    for u in range(topology.n):
+    spans = pos.max(axis=0) - pos.min(axis=0)
+    span = float(spans.max())
+    if positive.size == 0 or span <= 0.0:
+        # no transmitters, or all points coincident: nothing for a grid to
+        # prune — the vectorized pass is both correct and cheapest
+        return _interference_brute(topology, rtol, atol)
+    # Median positive radius is a good cell size for homogeneous radii, but
+    # degenerates when radii span many orders of magnitude (exponential
+    # chains): clamp the implied cell count so a span-scale query can never
+    # enumerate more than O(n) cells.
+    cell = float(np.median(positive))
+    min_cell = span / max(GRID_CELLS_PER_AXIS_SCALE * math.sqrt(n), 1.0)
+    cell = min(max(cell, min_cell), span)
+    # If the average query disk's bounding box covers a large fraction of
+    # the instance, every query scans nearly all points regardless of cell
+    # size; the brute kernel does the same scans vectorized.
+    frac = np.ones(n, dtype=np.float64)
+    for axis in range(2):
+        if spans[axis] > 0.0:
+            frac *= np.minimum(2.0 * r_eff / spans[axis], 1.0)
+    if float(frac.mean()) > GRID_COVERAGE_FALLBACK:
+        return _interference_brute(topology, rtol, atol)
+    index = GridIndex(pos, cell_size=cell)
+    counts = np.zeros(n, dtype=np.int64)
+    for u in range(n):
         if radii[u] <= 0 and atol <= 0:
             continue
         hits = index.query_point(u, float(r_eff[u]))

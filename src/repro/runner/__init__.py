@@ -1,0 +1,44 @@
+"""Parallel sweep runner with content-addressed result caching.
+
+The batching/caching pillar of the roadmap: expand an
+experiment/parameter/seed grid into independent tasks
+(:func:`expand_grid`), execute them serially or on a process pool
+(:func:`run_sweep`), memoize every completed task in an on-disk
+content-addressed cache (:class:`ResultCache`) and record a
+:class:`RunManifest` per run. See ``docs/PERFORMANCE.md`` for the
+architecture, cache-key definition and determinism guarantees, and
+``repro sweep --help`` for the CLI.
+"""
+
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    cache_key,
+    code_fingerprint,
+    default_cache_dir,
+)
+from repro.runner.core import (
+    MAX_INFLIGHT_PER_WORKER,
+    SweepOutcome,
+    SweepTask,
+    derive_seeds,
+    expand_grid,
+    run_sweep,
+)
+from repro.runner.manifest import RunManifest, TaskRecord
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "MAX_INFLIGHT_PER_WORKER",
+    "ResultCache",
+    "RunManifest",
+    "SweepOutcome",
+    "SweepTask",
+    "TaskRecord",
+    "cache_key",
+    "code_fingerprint",
+    "default_cache_dir",
+    "derive_seeds",
+    "expand_grid",
+    "run_sweep",
+]

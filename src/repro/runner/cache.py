@@ -1,0 +1,125 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cached entry is keyed by the SHA-256 of a canonical description of the
+computation::
+
+    key = sha256({"experiment": id,
+                  "kwargs": canonical(kwargs),
+                  "code": code_fingerprint(experiment.fn)})
+
+- *kwargs* are canonicalized through the strict JSON encoding (sorted
+  keys, tuples as lists), so ``sizes=(10, 20)`` and ``sizes=[10, 20]``
+  address the same entry;
+- *code fingerprint* is the SHA-256 of the source text of the module that
+  defines the experiment function, so editing an experiment invalidates
+  exactly its own entries — a cache can never serve results computed by
+  code that no longer exists.
+
+Entries are stored as ``<root>/<key[:2]>/<key>.json`` (the payload of
+``ExperimentResult.to_jsonable``), written atomically via rename so an
+interrupted sweep never leaves a truncated entry behind — re-running the
+sweep resumes from the completed tasks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.experiments.serialize import canonical_dumps
+
+#: Default cache root (override with the REPRO_CACHE_DIR environment
+#: variable or an explicit ``ResultCache(root=...)``).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def code_fingerprint(fn) -> str:
+    """SHA-256 fingerprint of the code behind a registered experiment.
+
+    Hashes the full source of the module defining ``fn`` (not just the
+    function body: experiments lean on module-level helpers and constants).
+    Falls back to the compiled bytecode when source is unavailable (frozen
+    or REPL-defined functions).
+    """
+    module = sys.modules.get(fn.__module__)
+    try:
+        source = inspect.getsource(module) if module is not None else None
+    except (OSError, TypeError):
+        source = None
+    if source is None:
+        code = getattr(fn, "__code__", None)
+        blob = code.co_code if code is not None else repr(fn).encode()
+        return hashlib.sha256(bytes(blob)).hexdigest()
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def cache_key(experiment_id: str, kwargs: dict, fingerprint: str) -> str:
+    canonical = canonical_dumps(
+        {"experiment": experiment_id, "kwargs": kwargs or {}, "code": fingerprint}
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed content-addressed store of result payloads."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload, or ``None`` on miss or corrupt entry."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            # a corrupt entry counts as a miss; it will be overwritten
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically store ``payload`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, allow_nan=False))
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r}, entries={len(self)})"

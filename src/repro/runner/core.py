@@ -1,0 +1,241 @@
+"""Declarative sweep runner: grid expansion, process-pool execution, cache.
+
+A sweep is a list of :class:`SweepTask` (experiment id + kwargs), usually
+produced by :func:`expand_grid` from an experiment/parameter/seed grid.
+:func:`run_sweep` executes the tasks
+
+- serially in-process (``workers <= 1``) or on a
+  ``concurrent.futures.ProcessPoolExecutor`` with chunked dispatch (at
+  most ``workers * max_inflight_per_worker`` tasks in flight, so huge
+  grids never materialize their whole future set at once);
+- against an optional content-addressed :class:`ResultCache` — warm
+  re-runs are pure cache hits, and an interrupted sweep resumes where it
+  stopped because every completed task is persisted immediately;
+- recording a :class:`RunManifest` entry per task (wall time, cache
+  hit/miss, worker id).
+
+Determinism: per-task seeds come from ``numpy.random.SeedSequence(base_seed)
+.spawn(n_seeds)`` (:func:`derive_seeds`), so the seed list depends only on
+``base_seed`` and ``n_seeds`` — never on worker scheduling — and a parallel
+sweep produces byte-identical payloads to a serial one. Workers are
+dispatched by experiment *id* (see ``registry.run_payload``) and return
+only strictly-JSON-safe payloads, so no experiment closure ever crosses a
+pickle boundary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.registry import ExperimentResult, get, run_payload
+from repro.runner.cache import ResultCache, cache_key, code_fingerprint
+from repro.runner.manifest import RunManifest, TaskRecord
+
+#: Chunked dispatch: cap on in-flight futures per worker process.
+MAX_INFLIGHT_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: an experiment id plus resolved kwargs."""
+
+    experiment_id: str
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class SweepOutcome:
+    """Results (in task order) plus the execution manifest."""
+
+    results: list[ExperimentResult]
+    manifest: RunManifest
+
+
+def derive_seeds(base_seed: int, n_seeds: int) -> list[int]:
+    """Deterministic per-task seeds via ``SeedSequence.spawn``.
+
+    The k-th seed depends only on ``(base_seed, k)``, so growing a sweep
+    from 3 to 5 seeds keeps the first 3 tasks (and their cache entries)
+    stable.
+    """
+    if n_seeds < 0:
+        raise ValueError("n_seeds must be >= 0")
+    children = np.random.SeedSequence(base_seed).spawn(n_seeds)
+    return [int(child.generate_state(1, dtype=np.uint32)[0]) for child in children]
+
+
+def expand_grid(
+    experiment_ids: Iterable[str],
+    *,
+    params: dict[str, Sequence] | None = None,
+    n_seeds: int | None = None,
+    base_seed: int = 0,
+    seed_kwarg: str = "seed",
+) -> list[SweepTask]:
+    """Expand an experiment/parameter/seed grid into independent tasks.
+
+    ``params`` maps kwarg names to value lists; the cartesian product over
+    sorted kwarg names is taken. With ``n_seeds``, each combination is
+    additionally replicated under ``n_seeds`` derived seeds (passed as the
+    ``seed_kwarg`` keyword). Task order — and therefore result order — is
+    ``experiment x param-combination x seed``, fully deterministic.
+    """
+    params = params or {}
+    names = sorted(params)
+    combos = list(itertools.product(*(params[name] for name in names))) or [()]
+    seeds: list[int | None] = derive_seeds(base_seed, n_seeds) if n_seeds else [None]
+    tasks = []
+    for eid in experiment_ids:
+        for combo in combos:
+            for seed in seeds:
+                kwargs = dict(zip(names, combo))
+                if seed is not None:
+                    kwargs[seed_kwarg] = seed
+                tasks.append(SweepTask(eid, kwargs))
+    return tasks
+
+
+def _execute_task(experiment_id: str, kwargs: dict) -> tuple[dict, float, int]:
+    """Worker entry point: run one task, return (payload, wall_s, pid)."""
+    start = time.perf_counter()
+    payload = run_payload(experiment_id, kwargs)
+    return payload, time.perf_counter() - start, os.getpid()
+
+
+def run_sweep(
+    tasks: Iterable[SweepTask],
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    force: bool = False,
+    manifest_path: Path | str | None = None,
+    progress: Callable[[TaskRecord], None] | None = None,
+    max_inflight_per_worker: int = MAX_INFLIGHT_PER_WORKER,
+) -> SweepOutcome:
+    """Execute a sweep; see the module docstring for semantics.
+
+    Raises ``RuntimeError`` (chained from the first failure) if any task
+    fails — after recording every task in the manifest and persisting all
+    successful results, so a re-run resumes rather than recomputes.
+    """
+    tasks = list(tasks)
+    n_workers = max(1, int(workers or 1))
+    manifest = RunManifest(
+        workers=n_workers, cache_dir=str(cache.root) if cache else None
+    )
+    started = time.perf_counter()
+
+    # Validate ids and fingerprint each experiment's code up front.
+    fingerprints: dict[str, str] = {}
+    keys: list[str | None] = []
+    for task in tasks:
+        experiment = get(task.experiment_id)
+        if cache is not None:
+            fingerprint = fingerprints.get(task.experiment_id)
+            if fingerprint is None:
+                fingerprint = code_fingerprint(experiment.fn)
+                fingerprints[task.experiment_id] = fingerprint
+            keys.append(cache_key(task.experiment_id, task.kwargs, fingerprint))
+        else:
+            keys.append(None)
+
+    payloads: list[dict | None] = [None] * len(tasks)
+    errors: list[tuple[SweepTask, BaseException]] = []
+
+    def record(index: int, *, hit: bool, wall: float, worker: str,
+               error: BaseException | None = None) -> None:
+        entry = TaskRecord(
+            index=index,
+            experiment_id=tasks[index].experiment_id,
+            kwargs=tasks[index].kwargs,
+            cache_key=keys[index],
+            cache_hit=hit,
+            wall_time_s=wall,
+            worker_id=worker,
+            status="ok" if error is None else "error",
+            error=None if error is None else repr(error),
+        )
+        manifest.add(entry)
+        if progress is not None:
+            progress(entry)
+
+    # Phase 1: serve cache hits.
+    pending: list[int] = []
+    for index, key in enumerate(keys):
+        if cache is not None and not force:
+            t0 = time.perf_counter()
+            payload = cache.get(key)
+            if payload is not None:
+                payloads[index] = payload
+                record(index, hit=True, wall=time.perf_counter() - t0, worker="cache")
+                continue
+        pending.append(index)
+
+    # Phase 2: execute the misses.
+    def finish(index: int, payload: dict, wall: float, worker: str) -> None:
+        payloads[index] = payload
+        if cache is not None:
+            cache.put(keys[index], payload)
+        record(index, hit=False, wall=wall, worker=worker)
+
+    if n_workers == 1:
+        for index in pending:
+            task = tasks[index]
+            t0 = time.perf_counter()
+            try:
+                payload = run_payload(task.experiment_id, task.kwargs)
+            except Exception as exc:  # record, keep going, raise at the end
+                errors.append((task, exc))
+                record(index, hit=False, wall=time.perf_counter() - t0,
+                       worker="main", error=exc)
+                continue
+            finish(index, payload, time.perf_counter() - t0, worker="main")
+    elif pending:
+        max_inflight = max(n_workers, n_workers * max_inflight_per_worker)
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            inflight = {}
+            queue = iter(pending)
+            exhausted = False
+            while inflight or not exhausted:
+                while not exhausted and len(inflight) < max_inflight:
+                    index = next(queue, None)
+                    if index is None:
+                        exhausted = True
+                        break
+                    task = tasks[index]
+                    future = pool.submit(_execute_task, task.experiment_id, task.kwargs)
+                    inflight[future] = index
+                if not inflight:
+                    break
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = inflight.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        errors.append((tasks[index], exc))
+                        record(index, hit=False, wall=0.0, worker="pool", error=exc)
+                        continue
+                    payload, wall, pid = future.result()
+                    finish(index, payload, wall, worker=str(pid))
+
+    manifest.wall_time_s = time.perf_counter() - started
+    if manifest_path is not None:
+        manifest.write(manifest_path)
+
+    if errors:
+        task, first = errors[0]
+        raise RuntimeError(
+            f"{len(errors)} sweep task(s) failed; first: "
+            f"{task.experiment_id} kwargs={task.kwargs!r}"
+        ) from first
+
+    results = [ExperimentResult.from_jsonable(payload) for payload in payloads]
+    return SweepOutcome(results=results, manifest=manifest)

@@ -1,0 +1,125 @@
+"""Run manifests: a machine-readable record of one sweep execution.
+
+Every sweep produces a :class:`RunManifest` with one :class:`TaskRecord`
+per task — experiment id, resolved kwargs, cache key, whether the task was
+served from cache, its wall time and the worker (process id) that executed
+it — plus aggregate totals. The CLI writes it as JSON next to the results;
+CI uploads it as an artifact and asserts cache behaviour on it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.experiments.serialize import encode_jsonable
+
+
+@dataclass
+class TaskRecord:
+    """Execution record of one sweep task."""
+
+    index: int
+    experiment_id: str
+    kwargs: dict
+    cache_key: str | None
+    cache_hit: bool
+    wall_time_s: float
+    #: pid of the executing process; "cache" for hits, "main" for inline runs
+    worker_id: str
+    status: str = "ok"
+    error: str | None = None
+
+    def to_jsonable(self) -> dict:
+        payload = asdict(self)
+        payload["kwargs"] = encode_jsonable(self.kwargs)
+        return payload
+
+
+@dataclass
+class RunManifest:
+    """Aggregate record of a sweep run (JSON-exportable)."""
+
+    workers: int
+    cache_dir: str | None
+    created_at: float = field(default_factory=time.time)
+    tasks: list[TaskRecord] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    def add(self, record: TaskRecord) -> None:
+        self.tasks.append(record)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def n_hits(self) -> int:
+        return sum(1 for t in self.tasks if t.cache_hit)
+
+    @property
+    def n_misses(self) -> int:
+        return sum(1 for t in self.tasks if not t.cache_hit)
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for t in self.tasks if t.status != "ok")
+
+    @property
+    def total_task_time_s(self) -> float:
+        return sum(t.wall_time_s for t in self.tasks)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "created_at": self.created_at,
+            "wall_time_s": self.wall_time_s,
+            "totals": {
+                "tasks": self.n_tasks,
+                "cache_hits": self.n_hits,
+                "cache_misses": self.n_misses,
+                "errors": self.n_errors,
+                "task_time_s": self.total_task_time_s,
+            },
+            "tasks": [t.to_jsonable() for t in sorted(self.tasks, key=lambda t: t.index)],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_jsonable(), indent=2, allow_nan=False)
+
+    def write(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "RunManifest":
+        manifest = cls(
+            workers=payload["workers"],
+            cache_dir=payload.get("cache_dir"),
+            created_at=payload.get("created_at", 0.0),
+            wall_time_s=payload.get("wall_time_s", 0.0),
+        )
+        for entry in payload.get("tasks", []):
+            manifest.add(
+                TaskRecord(
+                    index=entry["index"],
+                    experiment_id=entry["experiment_id"],
+                    kwargs=entry.get("kwargs", {}),
+                    cache_key=entry.get("cache_key"),
+                    cache_hit=entry.get("cache_hit", False),
+                    wall_time_s=entry.get("wall_time_s", 0.0),
+                    worker_id=str(entry.get("worker_id", "")),
+                    status=entry.get("status", "ok"),
+                    error=entry.get("error"),
+                )
+            )
+        return manifest
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_jsonable(json.loads(text))

@@ -64,3 +64,87 @@ class TestCli:
     def test_report_requires_out(self):
         with pytest.raises(SystemExit):
             main(["report"])
+
+
+class TestSweepCli:
+    def _sweep(self, tmp_path, *extra):
+        return main(
+            [
+                "sweep",
+                "fig2_sample",
+                "fig7_linear_chain",
+                "--workers",
+                "2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--manifest",
+                str(tmp_path / "manifest.json"),
+                *extra,
+            ]
+        )
+
+    def test_cold_then_warm(self, capsys, tmp_path):
+        assert self._sweep(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "2 task(s), 0 cache hit(s), 2 miss(es)" in out
+        assert self._sweep(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "2 cache hit(s), 0 miss(es)" in out
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["totals"]["cache_hits"] == 2
+        assert all(t["cache_hit"] for t in manifest["tasks"])
+
+    def test_json_dir_matches_serial_payloads(self, capsys, tmp_path):
+        assert self._sweep(tmp_path, "--json-dir", str(tmp_path / "json")) == 0
+        capsys.readouterr()
+        from repro import experiments
+
+        sweep_payload = json.loads(
+            (tmp_path / "json" / "fig2_sample.json").read_text()
+        )
+        serial_payload = json.loads(experiments.run("fig2_sample").to_json())
+        assert sweep_payload["rows"] == serial_payload["rows"]
+        assert sweep_payload["data"] == serial_payload["data"]
+
+    def test_param_and_seed_grid(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig1_robustness",
+                    "--no-cache",
+                    "--param",
+                    "sizes=[[10,20],[10,30]]",
+                    "--seeds",
+                    "2",
+                    "--manifest",
+                    str(tmp_path / "m.json"),
+                ]
+            )
+            == 0
+        )
+        manifest = json.loads((tmp_path / "m.json").read_text())
+        assert manifest["totals"]["tasks"] == 4  # 2 param combos x 2 seeds
+        seeds = {t["kwargs"]["seed"] for t in manifest["tasks"]}
+        assert len(seeds) == 2
+
+    def test_unknown_experiment(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["sweep", "bogus", "--no-cache"])
+
+    def test_no_cache_never_hits(self, capsys, tmp_path):
+        for _ in range(2):
+            assert (
+                main(
+                    [
+                        "sweep",
+                        "fig2_sample",
+                        "--no-cache",
+                        "--manifest",
+                        str(tmp_path / "m.json"),
+                    ]
+                )
+                == 0
+            )
+        manifest = json.loads((tmp_path / "m.json").read_text())
+        assert manifest["totals"]["cache_hits"] == 0

@@ -1,0 +1,135 @@
+"""Tests for strict JSON serialization and ExperimentResult round trips."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import experiments
+from repro.experiments.registry import ExperimentResult
+from repro.experiments.serialize import (
+    canonical_dumps,
+    decode_jsonable,
+    dumps_strict,
+    encode_jsonable,
+    loads_strict,
+)
+
+
+class TestEncodeDecode:
+    def test_scalars_pass_through(self):
+        for value in (None, True, False, 3, -1, "x", 2.5):
+            assert encode_jsonable(value) == value
+            assert decode_jsonable(encode_jsonable(value)) == value
+
+    def test_numpy_scalars_become_python(self):
+        assert encode_jsonable(np.int64(3)) == 3
+        assert type(encode_jsonable(np.int64(3))) is int
+        assert encode_jsonable(np.float64(2.5)) == 2.5
+        assert encode_jsonable(np.bool_(True)) is True
+
+    def test_nonfinite_floats_are_explicit(self):
+        for value, tag in [
+            (math.nan, "nan"),
+            (math.inf, "inf"),
+            (-math.inf, "-inf"),
+        ]:
+            encoded = encode_jsonable(value)
+            assert encoded == {"__nonfinite__": tag}
+            decoded = decode_jsonable(encoded)
+            assert math.isnan(decoded) if tag == "nan" else decoded == value
+
+    def test_no_nan_tokens_in_output(self):
+        text = dumps_strict({"a": [math.nan, math.inf, 1.0]})
+        assert "NaN" not in text and "Infinity" not in text
+        decoded = loads_strict(text)
+        assert math.isnan(decoded["a"][0]) and decoded["a"][1] == math.inf
+
+    def test_ndarray_roundtrip_preserves_dtype(self):
+        for arr in (
+            np.arange(6, dtype=np.int32).reshape(2, 3),
+            np.array([1.5, np.nan, np.inf]),
+            np.array([], dtype=np.float64),
+            np.array([True, False]),
+        ):
+            decoded = decode_jsonable(encode_jsonable(arr))
+            assert isinstance(decoded, np.ndarray)
+            assert decoded.dtype == arr.dtype
+            np.testing.assert_array_equal(decoded, arr)
+
+    def test_tuples_become_lists(self):
+        assert encode_jsonable((1, 2)) == [1, 2]
+        assert decode_jsonable(encode_jsonable((1, (2, 3)))) == [1, [2, 3]]
+
+    def test_unknown_type_raises_instead_of_stringifying(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="cannot serialize"):
+            encode_jsonable({"x": Opaque()})
+        with pytest.raises(TypeError, match="cannot serialize"):
+            encode_jsonable(complex(1, 2))
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError, match="keys must be str"):
+            encode_jsonable({1: "a"})
+
+    def test_reserved_keys_rejected(self):
+        with pytest.raises(TypeError, match="reserved"):
+            encode_jsonable({"__ndarray__": []})
+
+    def test_canonical_dumps_is_order_independent(self):
+        assert canonical_dumps({"b": 1, "a": 2}) == canonical_dumps(
+            {"a": 2, "b": 1}
+        )
+
+
+class TestExperimentResultRoundTrip:
+    def _roundtrip(self, result):
+        return ExperimentResult.from_json(result.to_json())
+
+    def test_synthetic_result(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            headers=["a", "b"],
+            rows=[[1, 2.5], ["s", True]],
+            notes=["n1"],
+            figures=["fig"],
+            data={
+                "vec": np.array([1.0, math.nan]),
+                "nested": {"ints": np.arange(3), "flag": False},
+                "scalar": np.float64(0.5),
+            },
+            elapsed_s=1.25,
+        )
+        back = self._roundtrip(result)
+        assert back.experiment_id == "x"
+        assert back.rows == [[1, 2.5], ["s", True]]
+        assert back.notes == ["n1"] and back.figures == ["fig"]
+        assert back.elapsed_s == 1.25
+        np.testing.assert_array_equal(
+            back.data["vec"], np.array([1.0, math.nan])
+        )
+        assert isinstance(back.data["nested"]["ints"], np.ndarray)
+        assert back.data["scalar"] == 0.5
+
+    def test_real_experiment_result(self):
+        result = experiments.run("fig2_sample")
+        back = self._roundtrip(result)
+        assert back.rows == result.rows
+        assert isinstance(back.data["interference"], np.ndarray)
+        np.testing.assert_array_equal(
+            back.data["interference"], result.data["interference"]
+        )
+        # a second round trip is the identity (encoding is stable)
+        again = self._roundtrip(back)
+        assert again.to_json() == back.to_json()
+
+    def test_to_json_is_strict_json(self):
+        result = experiments.run("fig7_linear_chain", sizes=(4, 8))
+        payload = json.loads(result.to_json())
+        assert payload["experiment_id"] == "fig7_linear_chain"
+        # render still works after a round trip
+        assert "fig7_linear_chain" in self._roundtrip(result).render()
