@@ -13,6 +13,10 @@ Quickstart::
     from repro import exponential_chain, a_exp, graph_interference
     topo = a_exp(exponential_chain(100))
     print(graph_interference(topo))   # ~ sqrt(2 * 100)
+
+The curated stable surface lives in :mod:`repro.api` (one ``__all__``,
+deprecation shims, CI-checked snapshot); the observability layer (spans,
+counters, ``repro trace``) lives in :mod:`repro.obs`. See ``docs/API.md``.
 """
 
 from repro.geometry.generators import (
@@ -24,10 +28,16 @@ from repro.geometry.generators import (
     two_exponential_chains,
     uniform_chain,
 )
+from repro import obs
 from repro.faults import ChurnEngine, ChurnSchedule, FaultPlan
 from repro.model.topology import Topology
 from repro.model.udg import unit_disk_graph
-from repro.interference.receiver import graph_interference, node_interference
+from repro.interference.receiver import (
+    average_interference,
+    coverage_counts,
+    graph_interference,
+    node_interference,
+)
 from repro.interference.sender import sender_interference
 from repro.highway.a_apx import a_apx
 from repro.highway.a_exp import a_exp
@@ -42,7 +52,10 @@ __all__ = [
     "unit_disk_graph",
     "node_interference",
     "graph_interference",
+    "average_interference",
+    "coverage_counts",
     "sender_interference",
+    "obs",
     "a_exp",
     "a_gen",
     "a_apx",

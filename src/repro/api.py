@@ -1,0 +1,195 @@
+"""The stable public API facade — one import surface, one ``__all__``.
+
+``repro.api`` re-exports every entry point the project commits to keeping
+stable, grouped by layer. Code that imports from here is insulated from
+internal reorganisation: inner modules may move or grow, but a name in
+:data:`__all__` only ever changes behaviour through the documented
+deprecation policy (see ``docs/API.md``):
+
+1. the old name keeps working for at least one release, emitting a
+   ``DeprecationWarning`` that names its replacement (module-level
+   ``__getattr__`` shim, see ``_DEPRECATED`` below);
+2. the replacement appears in :data:`__all__` immediately;
+3. the public-API snapshot test (``tests/data/public_api.txt``) fails CI
+   on any accidental surface change, so additions and removals are
+   always deliberate and reviewed.
+
+Two names are facade-side standardisations of bare inner-module names and
+are shimmed for callers migrating from those imports:
+
+- ``repro.api.build`` → :func:`build_topology`
+  (``repro.topologies.build`` stays canonical in its own module)
+- ``repro.api.run`` → :func:`run_experiment`
+  (``repro.experiments.run`` stays canonical in its own module)
+
+Quickstart::
+
+    from repro import api
+
+    topo = api.build_topology("a_exp", api.unit_disk_graph(
+        api.exponential_chain(100), unit=2.0 ** 101))
+    print(api.graph_interference(topo))
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro import obs
+from repro.distributed import (
+    DistributedResult,
+    Protocol,
+    SynchronousNetwork,
+    UnreliableNetwork,
+)
+from repro.experiments.registry import (
+    REGISTRY,
+    Experiment,
+    ExperimentResult,
+    run_all,
+)
+from repro.experiments.registry import run as run_experiment
+from repro.faults import ChurnEngine, ChurnSchedule, FaultPlan
+from repro.geometry.generators import (
+    cluster_with_remote,
+    exponential_chain,
+    random_highway,
+    random_udg_connected,
+    random_uniform_square,
+    two_exponential_chains,
+    uniform_chain,
+)
+from repro.highway import a_apx, a_exp, a_gen, linear_chain
+from repro.highway.linear import highway_order
+from repro.interference.incremental import InterferenceTracker
+from repro.interference.localized import localized_interference
+from repro.interference.receiver import (
+    ATOL,
+    RTOL,
+    average_interference,
+    coverage_counts,
+    graph_interference,
+    node_interference,
+    node_interference_naive,
+)
+from repro.interference.robustness import (
+    addition_report,
+    removal_report,
+    stability_summary,
+)
+from repro.interference.sender import edge_coverage, sender_interference
+from repro.interference.traffic import traffic_interference
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+from repro.runner import (
+    ResultCache,
+    RunManifest,
+    SweepOutcome,
+    SweepTask,
+    TaskRecord,
+    derive_seeds,
+    expand_grid,
+    run_sweep,
+)
+from repro.topologies import (
+    ALGORITHMS,
+    HIGHWAY_ALGORITHMS,
+    is_highway,
+    registered_names,
+)
+from repro.topologies import build as build_topology
+
+__all__ = [
+    # model
+    "Topology",
+    "unit_disk_graph",
+    # instance generators
+    "cluster_with_remote",
+    "exponential_chain",
+    "random_highway",
+    "random_udg_connected",
+    "random_uniform_square",
+    "two_exponential_chains",
+    "uniform_chain",
+    # interference measures
+    "ATOL",
+    "RTOL",
+    "InterferenceTracker",
+    "addition_report",
+    "average_interference",
+    "coverage_counts",
+    "edge_coverage",
+    "graph_interference",
+    "localized_interference",
+    "node_interference",
+    "node_interference_naive",
+    "removal_report",
+    "sender_interference",
+    "stability_summary",
+    "traffic_interference",
+    # highway algorithms (Section 5)
+    "a_apx",
+    "a_exp",
+    "a_gen",
+    "highway_order",
+    "linear_chain",
+    # topology-control registry
+    "ALGORITHMS",
+    "HIGHWAY_ALGORITHMS",
+    "build_topology",
+    "is_highway",
+    "registered_names",
+    # distributed execution
+    "DistributedResult",
+    "Protocol",
+    "SynchronousNetwork",
+    "UnreliableNetwork",
+    # fault injection
+    "ChurnEngine",
+    "ChurnSchedule",
+    "FaultPlan",
+    # experiments
+    "Experiment",
+    "ExperimentResult",
+    "REGISTRY",
+    "run_all",
+    "run_experiment",
+    # sweep runner
+    "ResultCache",
+    "RunManifest",
+    "SweepOutcome",
+    "SweepTask",
+    "TaskRecord",
+    "derive_seeds",
+    "expand_grid",
+    "run_sweep",
+    # observability
+    "obs",
+]
+
+#: deprecated name -> (replacement name, replacement object). Accessing a
+#: key warns once per call site and returns the replacement, per the
+#: deprecation policy in ``docs/API.md``.
+_DEPRECATED = {
+    "build": ("build_topology", build_topology),
+    "run": ("run_experiment", run_experiment),
+}
+
+
+def __getattr__(name: str):
+    try:
+        replacement, obj = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    warnings.warn(
+        f"repro.api.{name} is deprecated; use repro.api.{replacement}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return obj
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_DEPRECATED))

@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli run all --json-dir results/
     python -m repro.cli sweep --workers 4            # full registry, cached
     python -m repro.cli sweep fig8_aexp --seeds 5 --param 'sizes=[[16,64],[16,256]]'
+    python -m repro.cli trace fig1_robustness        # span tree + counters
+    python -m repro.cli sweep --trace-out trace.jsonl fig2_sample
 """
 
 from __future__ import annotations
@@ -123,6 +125,30 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--render", action="store_true", help="print each result's full table"
     )
+    sweep.add_argument(
+        "--trace-out", type=Path, default=None, metavar="TRACE.JSONL",
+        help="run with observability enabled and write the span/counter "
+        "trace as JSONL (per-task spans reconcile with the manifest)",
+    )
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment with tracing enabled; print the span tree "
+        "and counter summary",
+    )
+    trace.add_argument("experiment", help="experiment id")
+    trace.add_argument("--seed", type=int, default=None, help="override RNG seed")
+    trace.add_argument(
+        "--trace-out", type=Path, default=None, metavar="TRACE.JSONL",
+        help="also write the full trace as JSONL",
+    )
+    trace.add_argument(
+        "--max-spans", type=int, default=400,
+        help="truncate the printed span tree beyond this many spans",
+    )
+    trace.add_argument(
+        "--result", action="store_true",
+        help="also print the experiment's result table",
+    )
     churn = sub.add_parser(
         "churn",
         help="focused churn/loss resilience scenario (fault-injection harness)",
@@ -185,6 +211,9 @@ def _main(argv: list[str] | None = None) -> int:
     if args.command == "sweep":
         return _sweep(args, experiments)
 
+    if args.command == "trace":
+        return _trace(args, experiments)
+
     if args.command == "churn":
         result = experiments.run(
             "churn_resilience",
@@ -224,6 +253,31 @@ def _main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _trace(args, experiments) -> int:
+    from repro import obs
+
+    experiments.get(args.experiment)  # fail fast on unknown ids
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    with obs.capture():
+        with obs.span("trace", experiment=args.experiment):
+            result = experiments.run(args.experiment, **kwargs)
+    snap = obs.snapshot()
+    if args.result:
+        print(result.render())
+        print()
+    print(f"trace: {args.experiment} ({snap.n_spans} span(s), "
+          f"{snap.max_depth()} level(s))")
+    print(obs.render_span_tree(snap, max_spans=args.max_spans))
+    print()
+    print(obs.render_counters(snap))
+    if args.trace_out is not None:
+        path = obs.write_trace_jsonl(args.trace_out, snap)
+        print(f"  wrote {path}")
+    return 0
+
+
 def _sweep(args, experiments) -> int:
     from repro.runner import ResultCache, expand_grid, run_sweep
 
@@ -247,14 +301,24 @@ def _sweep(args, experiments) -> int:
             f"{record.wall_time_s:.3f}s (worker {record.worker_id}){extra}"
         )
 
-    outcome = run_sweep(
-        tasks,
-        workers=args.workers,
-        cache=cache,
-        force=args.force,
-        manifest_path=args.manifest,
-        progress=progress,
-    )
+    import contextlib
+
+    from repro import obs
+
+    with contextlib.ExitStack() as stack:
+        if args.trace_out is not None:
+            stack.enter_context(obs.capture())
+        outcome = run_sweep(
+            tasks,
+            workers=args.workers,
+            cache=cache,
+            force=args.force,
+            manifest_path=args.manifest,
+            progress=progress,
+        )
+    if args.trace_out is not None:
+        path = obs.write_trace_jsonl(args.trace_out, obs.snapshot())
+        print(f"  trace: {path}")
     manifest = outcome.manifest
     if args.json_dir is not None:
         args.json_dir.mkdir(parents=True, exist_ok=True)

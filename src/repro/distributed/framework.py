@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.model.topology import Topology
 
 #: Valid values of :attr:`Protocol.combine`.
@@ -137,41 +138,50 @@ class SynchronousNetwork:
         _check_combine(protocol)
         udg = self.udg
         n = udg.n
-        states = [
-            protocol.init_state(
-                u, udg.positions[u].copy(), sorted(udg.neighbors(u))
-            )
-            for u in range(n)
-        ]
-        per_round: list[int] = []
-        for r in range(protocol.n_rounds):
-            payloads = [protocol.send(r, states[u]) for u in range(n)]
-            sent = sum(
-                udg.degrees[u] for u in range(n) if payloads[u] is not None
-            )
-            per_round.append(int(sent))
-            inboxes: list[dict] = [dict() for _ in range(n)]
-            for u in range(n):
-                if payloads[u] is None:
-                    continue
-                for v in udg.neighbors(u):
-                    inboxes[v][u] = payloads[u]
-            for u in range(n):
-                protocol.receive(r, states[u], inboxes[u])
+        with obs.span(
+            "distributed.run",
+            protocol=type(protocol).__name__,
+            network="synchronous",
+            n=n,
+        ):
+            states = [
+                protocol.init_state(
+                    u, udg.positions[u].copy(), sorted(udg.neighbors(u))
+                )
+                for u in range(n)
+            ]
+            per_round: list[int] = []
+            for r in range(protocol.n_rounds):
+                with obs.span("distributed.round", round=r):
+                    payloads = [protocol.send(r, states[u]) for u in range(n)]
+                    sent = sum(
+                        udg.degrees[u] for u in range(n) if payloads[u] is not None
+                    )
+                    per_round.append(int(sent))
+                    inboxes: list[dict] = [dict() for _ in range(n)]
+                    for u in range(n):
+                        if payloads[u] is None:
+                            continue
+                        for v in udg.neighbors(u):
+                            inboxes[v][u] = payloads[u]
+                    for u in range(n):
+                        protocol.receive(r, states[u], inboxes[u])
 
-        nominated = _collect_nominations(protocol, udg, states, range(n))
-        edges = _combine_edges(protocol, nominated)
-        topo = Topology(
-            udg.positions,
-            np.array(sorted(edges), dtype=np.int64).reshape(-1, 2),
-        )
-        return DistributedResult(
-            topology=topo,
-            rounds=protocol.n_rounds,
-            messages_total=int(sum(per_round)),
-            messages_per_round=per_round,
-            meta={"combine": protocol.combine},
-        )
+            nominated = _collect_nominations(protocol, udg, states, range(n))
+            edges = _combine_edges(protocol, nominated)
+            obs.count("protocol.rounds", protocol.n_rounds)
+            obs.count("protocol.messages", int(sum(per_round)))
+            topo = Topology(
+                udg.positions,
+                np.array(sorted(edges), dtype=np.int64).reshape(-1, 2),
+            )
+            return DistributedResult(
+                topology=topo,
+                rounds=protocol.n_rounds,
+                messages_total=int(sum(per_round)),
+                messages_per_round=per_round,
+                meta={"combine": protocol.combine},
+            )
 
 
 class UnreliableNetwork:
@@ -212,6 +222,15 @@ class UnreliableNetwork:
         udg = self.udg
         plan = self.plan
         n = udg.n
+        with obs.span(
+            "distributed.run",
+            protocol=type(protocol).__name__,
+            network="unreliable",
+            n=n,
+        ):
+            return self._run_traced(protocol, udg, plan, n)
+
+    def _run_traced(self, protocol, udg, plan, n) -> DistributedResult:
         states = [
             protocol.init_state(
                 u, udg.positions[u].copy(), sorted(udg.neighbors(u))
@@ -231,7 +250,8 @@ class UnreliableNetwork:
         per_round: list[int] = []
         slots_per_round: list[int] = []
         for r in range(protocol.n_rounds):
-            sent = self._run_round(r, protocol, states, stats)
+            with obs.span("distributed.round", round=r):
+                sent = self._run_round(r, protocol, states, stats)
             per_round.append(sent)
             slots_per_round.append(stats.pop("_slots"))
 
@@ -257,6 +277,11 @@ class UnreliableNetwork:
             "crashed": sorted(set(range(n)) - set(survivors)),
             **stats,
         }
+        obs.count("protocol.rounds", protocol.n_rounds)
+        obs.count("protocol.messages", int(sum(per_round)))
+        obs.count("protocol.retransmissions", stats["retransmissions"])
+        obs.count("protocol.acks", stats["ack_messages"])
+        obs.count("protocol.drops", stats["drops"])
         return DistributedResult(
             topology=topo,
             rounds=protocol.n_rounds,

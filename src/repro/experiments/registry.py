@@ -17,6 +17,7 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.analysis.tables import format_table
 from repro.experiments.serialize import decode_jsonable, encode_jsonable
 
@@ -96,9 +97,12 @@ class Experiment:
     fn: Callable[..., ExperimentResult]
 
     def run(self, **kwargs) -> ExperimentResult:
-        start = time.perf_counter()
-        result = self.fn(**kwargs)
-        result.elapsed_s = time.perf_counter() - start
+        with obs.span(f"experiment.{self.experiment_id}") as sp:
+            obs.count("experiment.runs")
+            start = time.perf_counter()
+            result = self.fn(**kwargs)
+            result.elapsed_s = time.perf_counter() - start
+            sp.set(elapsed_s=round(result.elapsed_s, 6))
         return result
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.utils import check_positions
 
 
@@ -72,6 +73,7 @@ class GridIndex:
         """Indices of all points within ``radius`` of ``center`` (inclusive)."""
         if radius < 0:
             raise ValueError("radius must be non-negative")
+        obs.count("gridindex.queries")
         center = np.asarray(center, dtype=np.float64)
         if len(self) == 0:
             return np.empty(0, dtype=np.int64)

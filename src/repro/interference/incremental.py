@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.interference.receiver import ATOL, RTOL
 from repro.model.topology import Topology
 from repro.utils import check_positions, check_radii
@@ -80,6 +81,7 @@ class InterferenceTracker:
         """Set ``r_u`` to an arbitrary non-negative value; O(n)."""
         if radius < 0:
             raise ValueError("radius must be non-negative")
+        obs.count("tracker.updates")
         old = self._covered_by(u, self._radii[u], self._active[u])
         new = self._covered_by(u, radius, True)
         self._counts[new & ~old] += 1
@@ -89,6 +91,7 @@ class InterferenceTracker:
 
     def deactivate(self, u: int) -> None:
         """Drop ``u`` to an edge-less state (covers nobody)."""
+        obs.count("tracker.updates")
         old = self._covered_by(u, self._radii[u], self._active[u])
         self._counts[old] -= 1
         self._radii[u] = 0.0
@@ -105,6 +108,7 @@ class InterferenceTracker:
         ``changes`` is an iterable of ``(node, new_radius)`` pairs (later
         entries override earlier ones for the same node). O(n) per change.
         """
+        obs.count("tracker.peeks")
         counts = self._counts.copy()
         pending: dict[int, float] = {}
         for u, r in changes:

@@ -26,6 +26,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.geometry.spatial import GridIndex
 from repro.model.topology import Topology
 
@@ -85,11 +86,13 @@ def node_interference(
         return np.empty(0, dtype=np.int64)
     if method == "auto":
         method = "grid" if n > AUTO_GRID_MIN_N else "brute"
-    if method == "brute":
-        return _interference_brute(topology, rtol, atol)
-    if method == "grid":
+    if method not in ("brute", "grid"):
+        raise ValueError(f"unknown method {method!r}")
+    with obs.span("interference.node", n=n, method=method):
+        obs.count(f"interference.method.{method}")
+        if method == "brute":
+            return _interference_brute(topology, rtol, atol)
         return _interference_grid(topology, rtol, atol)
-    raise ValueError(f"unknown method {method!r}")
 
 
 def _interference_brute(topology: Topology, rtol: float, atol: float) -> np.ndarray:
@@ -121,6 +124,7 @@ def _interference_grid(topology: Topology, rtol: float, atol: float) -> np.ndarr
     if positive.size == 0 or span <= 0.0:
         # no transmitters, or all points coincident: nothing for a grid to
         # prune — the vectorized pass is both correct and cheapest
+        obs.count("interference.grid.fallback_degenerate")
         return _interference_brute(topology, rtol, atol)
     # Median positive radius is a good cell size for homogeneous radii, but
     # degenerates when radii span many orders of magnitude (exponential
@@ -137,6 +141,7 @@ def _interference_grid(topology: Topology, rtol: float, atol: float) -> np.ndarr
         if spans[axis] > 0.0:
             frac *= np.minimum(2.0 * r_eff / spans[axis], 1.0)
     if float(frac.mean()) > GRID_COVERAGE_FALLBACK:
+        obs.count("interference.grid.fallback_coverage")
         return _interference_brute(topology, rtol, atol)
     index = GridIndex(pos, cell_size=cell)
     counts = np.zeros(n, dtype=np.int64)
@@ -170,21 +175,39 @@ def node_interference_naive(
     return counts
 
 
-def graph_interference(topology: Topology, **kwargs) -> int:
-    """``I(G') = max_v I(v)`` (Definition 3.2); 0 for the empty network."""
-    vec = node_interference(topology, **kwargs)
+def graph_interference(
+    topology: Topology,
+    *,
+    method: str = "auto",
+    rtol: float = RTOL,
+    atol: float = ATOL,
+) -> int:
+    """``I(G') = max_v I(v)`` (Definition 3.2); 0 for the empty network.
+
+    All options are keyword-only and validated here (a typo such as
+    ``rtoll=`` raises ``TypeError`` instead of being silently swallowed
+    by a ``**kwargs`` passthrough).
+    """
+    vec = node_interference(topology, method=method, rtol=rtol, atol=atol)
     return int(vec.max()) if vec.size else 0
 
 
-def average_interference(topology: Topology, **kwargs) -> float:
+def average_interference(
+    topology: Topology,
+    *,
+    method: str = "auto",
+    rtol: float = RTOL,
+    atol: float = ATOL,
+) -> float:
     """Mean of ``I(v)`` over all nodes — the average-case companion measure.
 
     The paper optimizes the maximum (Definition 3.2); the literature also
     studies the average, which by the double-counting identity equals the
     average *footprint* (nodes covered per disk). 0.0 for the empty
-    network.
+    network. Options are keyword-only and validated (see
+    :func:`graph_interference`).
     """
-    vec = node_interference(topology, **kwargs)
+    vec = node_interference(topology, method=method, rtol=rtol, atol=atol)
     return float(vec.mean()) if vec.size else 0.0
 
 

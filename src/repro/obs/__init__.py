@@ -1,0 +1,71 @@
+"""Zero-dependency observability: spans, counters, gauges, trace export.
+
+The measurement substrate of the roadmap's "measure, don't guess" pillar.
+Hot paths across the library are instrumented against the process-wide
+registry in this package; with the registry *disabled* (the default) every
+instrumentation site costs a single attribute check (<5% end-to-end,
+asserted by ``benchmarks/bench_obs_overhead.py``), and with it *enabled*
+you get a nested span tree with monotonic timings plus typed counters:
+
+    from repro import obs
+
+    with obs.capture() as registry:
+        graph_interference(topology)
+    snap = registry.snapshot()
+    print(obs.render_span_tree(snap))
+    print(snap.counters)          # {'interference.method.brute': 1, ...}
+
+``repro trace <experiment>`` and ``repro sweep --trace-out trace.jsonl``
+expose the same data from the CLI. Counter families and the stability
+policy are documented in ``docs/API.md``.
+"""
+
+from repro.obs.core import (
+    OBS,
+    Observability,
+    ObsSnapshot,
+    Span,
+    capture,
+    count,
+    counters,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    gauges,
+    record_span,
+    reset,
+    snapshot,
+    span,
+)
+from repro.obs.report import (
+    read_trace_jsonl,
+    render_counters,
+    render_span_tree,
+    spans_to_jsonable,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "ObsSnapshot",
+    "Span",
+    "capture",
+    "count",
+    "counters",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "gauges",
+    "read_trace_jsonl",
+    "record_span",
+    "render_counters",
+    "render_span_tree",
+    "reset",
+    "snapshot",
+    "span",
+    "spans_to_jsonable",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,152 @@
+"""Rendering and serialisation of observability data.
+
+Two output formats:
+
+- **Human**: :func:`render_span_tree` draws the nested spans as a unicode
+  tree with millisecond durations and attributes; :func:`render_counters`
+  tabulates counters and gauges. Both are what ``repro trace`` prints.
+- **Machine**: :func:`write_trace_jsonl` emits one JSON object per line —
+  every span in depth-first order (with ``depth`` and ``parent`` index),
+  then one ``counters`` record and one ``gauges`` record. JSONL so huge
+  traces stream and partial files stay parseable; :func:`read_trace_jsonl`
+  is the inverse used by tests and tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.core import ObsSnapshot, Span
+
+
+def spans_to_jsonable(roots: list[Span]) -> list[dict]:
+    """Flatten span trees depth-first into JSON-safe records.
+
+    ``parent`` is the index (into the returned list) of the enclosing
+    span, or ``None`` for roots — enough to rebuild the tree exactly.
+    """
+    records: list[dict] = []
+
+    def visit(s: Span, depth: int, parent: int | None) -> None:
+        index = len(records)
+        records.append(
+            {
+                "name": s.name,
+                "start_s": s.start_s,
+                "end_s": s.end_s,
+                "duration_s": s.duration_s,
+                "depth": depth,
+                "parent": parent,
+                "attrs": dict(s.attrs),
+            }
+        )
+        for child in s.children:
+            visit(child, depth + 1, index)
+
+    for root in roots:
+        visit(root, 0, None)
+    return records
+
+
+def write_trace_jsonl(path: Path | str, snap: ObsSnapshot) -> Path:
+    """Write a snapshot as JSONL: span records, then counters, then gauges."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for record in spans_to_jsonable(snap.spans):
+        lines.append(json.dumps({"type": "span", **record}, allow_nan=False))
+    lines.append(
+        json.dumps(
+            {"type": "counters", "counters": dict(sorted(snap.counters.items()))},
+            allow_nan=False,
+        )
+    )
+    lines.append(
+        json.dumps(
+            {"type": "gauges", "gauges": dict(sorted(snap.gauges.items()))},
+            allow_nan=False,
+        )
+    )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_trace_jsonl(path: Path | str) -> dict:
+    """Parse a :func:`write_trace_jsonl` file.
+
+    Returns ``{"spans": [record, ...], "counters": {...}, "gauges": {...}}``
+    (span records as emitted, tree encoded via ``depth``/``parent``).
+    """
+    spans: list[dict] = []
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.pop("type", "span")
+        if kind == "span":
+            spans.append(record)
+        elif kind == "counters":
+            counters.update(record.get("counters", {}))
+        elif kind == "gauges":
+            gauges.update(record.get("gauges", {}))
+    return {"spans": spans, "counters": counters, "gauges": gauges}
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v!r}" for k, v in attrs.items())
+    return f"  {{{inner}}}"
+
+
+def render_span_tree(snap: ObsSnapshot, *, max_spans: int = 400) -> str:
+    """Unicode tree of all recorded spans with durations and attributes.
+
+    Traces larger than ``max_spans`` are truncated with an ellipsis line —
+    ``repro trace`` output stays terminal-sized even for big experiments
+    (the full data is always available via ``--trace-out``).
+    """
+    lines: list[str] = []
+    total = 0
+
+    def visit(s: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        nonlocal total
+        total += 1
+        if total > max_spans:
+            return
+        if is_root:
+            head, child_prefix = "", ""
+        else:
+            head = prefix + ("└─ " if is_last else "├─ ")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        lines.append(
+            f"{head}{s.name}  {s.duration_s * 1e3:.3f} ms{_format_attrs(s.attrs)}"
+        )
+        for i, child in enumerate(s.children):
+            visit(child, child_prefix, i == len(s.children) - 1, False)
+
+    for root in snap.spans:
+        visit(root, "", True, True)
+    if total > max_spans:
+        lines.append(f"… ({total - max_spans} more span(s) truncated)")
+    if not lines:
+        return "(no spans recorded)"
+    return "\n".join(lines)
+
+
+def render_counters(snap: ObsSnapshot) -> str:
+    """Two-column table of counters, then gauges, sorted by name."""
+    if not snap.counters and not snap.gauges:
+        return "(no counters recorded)"
+    width = max(len(k) for k in list(snap.counters) + list(snap.gauges))
+    lines = ["counters:"]
+    for name in sorted(snap.counters):
+        lines.append(f"  {name:<{width}}  {snap.counters[name]}")
+    if snap.gauges:
+        lines.append("gauges:")
+        for name in sorted(snap.gauges):
+            lines.append(f"  {name:<{width}}  {snap.gauges[name]:g}")
+    return "\n".join(lines)

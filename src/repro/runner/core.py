@@ -35,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.experiments.registry import ExperimentResult, get, run_payload
 from repro.runner.cache import ResultCache, cache_key, code_fingerprint
 from repro.runner.manifest import RunManifest, TaskRecord
@@ -128,6 +129,28 @@ def run_sweep(
     """
     tasks = list(tasks)
     n_workers = max(1, int(workers or 1))
+    with obs.span("runner.sweep", tasks=len(tasks), workers=n_workers):
+        return _run_sweep(
+            tasks,
+            n_workers,
+            cache=cache,
+            force=force,
+            manifest_path=manifest_path,
+            progress=progress,
+            max_inflight_per_worker=max_inflight_per_worker,
+        )
+
+
+def _run_sweep(
+    tasks: list[SweepTask],
+    n_workers: int,
+    *,
+    cache: ResultCache | None,
+    force: bool,
+    manifest_path: Path | str | None,
+    progress: Callable[[TaskRecord], None] | None,
+    max_inflight_per_worker: int,
+) -> SweepOutcome:
     manifest = RunManifest(
         workers=n_workers, cache_dir=str(cache.root) if cache else None
     )
@@ -164,6 +187,18 @@ def run_sweep(
             error=None if error is None else repr(error),
         )
         manifest.add(entry)
+        # One span per manifest entry, with the *same* wall time, so a
+        # trace export reconciles 1:1 with the manifest (index + duration).
+        obs.count("runner.cache.hit" if hit else "runner.cache.miss")
+        obs.record_span(
+            "runner.task",
+            wall,
+            index=index,
+            experiment_id=tasks[index].experiment_id,
+            cache_hit=hit,
+            worker=worker,
+            status=entry.status,
+        )
         if progress is not None:
             progress(entry)
 

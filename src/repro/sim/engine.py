@@ -12,6 +12,8 @@ import itertools
 import math
 from collections.abc import Callable
 
+from repro import obs
+
 
 class EventQueue:
     """Priority queue of timestamped callbacks."""
@@ -72,16 +74,21 @@ class Simulator:
         Events scheduled exactly at ``until`` are still processed; the clock
         never exceeds ``until``.
         """
-        while len(self.events):
-            if self.events.peek_time() > until:
-                break
-            if max_events is not None and self._processed >= max_events:
-                break
-            time, cb = self.events.pop()
-            if time < self.now:
-                raise RuntimeError("event queue went backwards in time")
-            self.now = time
-            self._processed += 1
-            cb()
-        if math.isfinite(until) and until > self.now:
-            self.now = until
+        with obs.span("sim.run", until=until if math.isfinite(until) else None) as sp:
+            processed_before = self._processed
+            while len(self.events):
+                if self.events.peek_time() > until:
+                    break
+                if max_events is not None and self._processed >= max_events:
+                    break
+                time, cb = self.events.pop()
+                if time < self.now:
+                    raise RuntimeError("event queue went backwards in time")
+                self.now = time
+                self._processed += 1
+                cb()
+            if math.isfinite(until) and until > self.now:
+                self.now = until
+            drained = self._processed - processed_before
+            obs.count("sim.events", drained)
+            sp.set(events=drained, now=self.now)

@@ -6,7 +6,13 @@ Nearest Neighbor Forest, which by Theorem 4.1 dooms them to Omega(n)
 receiver-centric interference on the two-exponential-chains instance.
 """
 
-from repro.topologies.base import ALGORITHMS, build
+from repro.topologies.base import (
+    ALGORITHMS,
+    HIGHWAY_ALGORITHMS,
+    build,
+    is_highway,
+    registered_names,
+)
 from repro.topologies.nnf import nearest_neighbor_forest
 from repro.topologies.emst import euclidean_mst
 from repro.topologies.gabriel import gabriel_graph
@@ -24,10 +30,14 @@ from repro.topologies.constructions import (
     fig1_star_with_remote,
     two_chains_optimal_tree,
 )
+import repro.topologies.highway  # noqa: F401  (registers the highway section)
 
 __all__ = [
     "ALGORITHMS",
+    "HIGHWAY_ALGORITHMS",
     "build",
+    "is_highway",
+    "registered_names",
     "nearest_neighbor_forest",
     "euclidean_mst",
     "gabriel_graph",

@@ -4,6 +4,20 @@ Each registered algorithm maps the input unit disk graph
 (:class:`repro.model.Topology`) to an output subtopology with the same node
 set. The registry gives the survey experiment and CLI a uniform way to
 enumerate baselines.
+
+Two sections share one namespace (names are unique across both):
+
+- :data:`ALGORITHMS` — the classical baselines of Section 4. Contract:
+  the output is a subgraph of the input UDG (this is what the survey
+  experiment and the per-algorithm contract tests iterate over).
+- :data:`HIGHWAY_ALGORITHMS` — the paper's highway constructions
+  (A_exp, A_gen, A_apx, the linear chain). They read the node
+  *positions* and may build edges outside the UDG (A_exp) or drop
+  connectivity on genuinely 2-D instances, so they do not join the
+  baseline iteration — but :func:`build` resolves them uniformly:
+  ``build("a_exp", udg)`` works exactly like ``build("emst", udg)``.
+  The direct functions in :mod:`repro.highway` remain the documented
+  thin entry points for positions-based callers.
 """
 
 from __future__ import annotations
@@ -14,28 +28,47 @@ from repro.model.topology import Topology
 
 AlgorithmFn = Callable[[Topology], Topology]
 
-#: name -> default-configured algorithm
+#: name -> default-configured baseline algorithm (UDG-subgraph contract)
 ALGORITHMS: dict[str, AlgorithmFn] = {}
 
+#: name -> highway construction adapter (positions-based; see module doc)
+HIGHWAY_ALGORITHMS: dict[str, AlgorithmFn] = {}
 
-def register(name: str):
-    """Decorator registering a default-configured algorithm under ``name``."""
+
+def register(name: str, *, highway: bool = False):
+    """Decorator registering a default-configured algorithm under ``name``.
+
+    ``highway=True`` registers into :data:`HIGHWAY_ALGORITHMS` instead of
+    :data:`ALGORITHMS`; either way the name must be unique across both
+    sections so :func:`build` stays unambiguous.
+    """
 
     def deco(fn: AlgorithmFn) -> AlgorithmFn:
-        if name in ALGORITHMS:
+        if name in ALGORITHMS or name in HIGHWAY_ALGORITHMS:
             raise ValueError(f"algorithm {name!r} already registered")
-        ALGORITHMS[name] = fn
+        (HIGHWAY_ALGORITHMS if highway else ALGORITHMS)[name] = fn
         return fn
 
     return deco
 
 
+def registered_names() -> tuple[str, ...]:
+    """All buildable names (baselines + highway constructions), sorted."""
+    return tuple(sorted({**ALGORITHMS, **HIGHWAY_ALGORITHMS}))
+
+
+def is_highway(name: str) -> bool:
+    """True iff ``name`` is a registered highway construction."""
+    return name in HIGHWAY_ALGORITHMS
+
+
 def build(name: str, udg: Topology, **kwargs) -> Topology:
-    """Run registered algorithm ``name`` on ``udg``."""
-    try:
-        fn = ALGORITHMS[name]
-    except KeyError:
+    """Run registered algorithm ``name`` on ``udg`` (either section)."""
+    fn = ALGORITHMS.get(name)
+    if fn is None:
+        fn = HIGHWAY_ALGORITHMS.get(name)
+    if fn is None:
         raise KeyError(
-            f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}"
-        ) from None
+            f"unknown algorithm {name!r}; known: {list(registered_names())}"
+        )
     return fn(udg, **kwargs)

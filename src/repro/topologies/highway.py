@@ -1,0 +1,54 @@
+"""Registry adapters for the paper's highway constructions (Section 5).
+
+The direct functions (:func:`repro.highway.a_exp` and friends) take raw
+node *positions* — the natural signature for the 1-D highway model. These
+adapters lift them to the registry's ``Topology -> Topology`` calling
+convention so ``build("a_exp", udg)`` works uniformly alongside the
+Section 4 baselines; the positions are taken from the input topology and
+extra keyword arguments are forwarded unchanged (e.g. ``unit=`` for
+``a_gen``/``a_apx``/``linear_chain``, ``spacing=`` for ``a_gen``).
+
+They live in :data:`repro.topologies.base.HIGHWAY_ALGORITHMS`, a separate
+registry section, because they do not satisfy the baseline contract (the
+output need not be a UDG subgraph, and connectivity is only guaranteed on
+highway instances) — see the :mod:`repro.topologies.base` module docs.
+"""
+
+from __future__ import annotations
+
+from repro.highway.a_apx import a_apx
+from repro.highway.a_exp import a_exp
+from repro.highway.a_gen import a_gen
+from repro.highway.linear import linear_chain
+from repro.model.topology import Topology
+from repro.topologies.base import register
+
+
+@register("a_exp", highway=True)
+def a_exp_adapter(udg: Topology, **kwargs) -> Topology:
+    """A_exp (Theorem 5.1) over the input topology's node positions."""
+    return a_exp(udg.positions, **kwargs)
+
+
+@register("a_gen", highway=True)
+def a_gen_adapter(udg: Topology, **kwargs) -> Topology:
+    """A_gen (Theorem 5.4) over the input topology's node positions."""
+    return a_gen(udg.positions, **kwargs)
+
+
+@register("a_apx", highway=True)
+def a_apx_adapter(udg: Topology, **kwargs) -> Topology:
+    """A_apx (Theorem 5.6) over the input topology's node positions.
+
+    ``return_info`` is not forwarded — the registry convention is
+    ``Topology`` in, ``Topology`` out; use :func:`repro.highway.a_apx`
+    directly for branch diagnostics.
+    """
+    kwargs.pop("return_info", None)
+    return a_apx(udg.positions, **kwargs)
+
+
+@register("linear_chain", highway=True)
+def linear_chain_adapter(udg: Topology, **kwargs) -> Topology:
+    """``G_lin`` — consecutive nodes in highway order."""
+    return linear_chain(udg.positions, **kwargs)

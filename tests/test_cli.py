@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import re
 
 import pytest
 
@@ -148,3 +149,93 @@ class TestSweepCli:
             )
         manifest = json.loads((tmp_path / "m.json").read_text())
         assert manifest["totals"]["cache_hits"] == 0
+
+
+class TestTraceCli:
+    def test_trace_prints_span_tree_and_counters(self, capsys):
+        assert main(["trace", "fig1_robustness"]) == 0
+        out = capsys.readouterr().out
+        assert "trace: fig1_robustness" in out
+        # >= 3 nesting levels: trace > experiment.* > interference.node
+        assert "experiment.fig1_robustness" in out
+        assert "interference.node" in out
+        assert "└─" in out and "   " in out
+        assert "counters:" in out
+        assert "interference.method.brute" in out
+
+    def test_trace_reports_depth_at_least_three(self, capsys):
+        assert main(["trace", "fig1_robustness"]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        match = re.search(r"(\d+) level\(s\)", header)
+        assert match is not None, header
+        assert int(match.group(1)) >= 3
+
+    def test_trace_protocol_counters(self, capsys):
+        assert main(["trace", "distributed_tc"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol.messages" in out and "protocol.rounds" in out
+        assert "distributed.run" in out
+
+    def test_trace_out_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "fig2_sample", "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        from repro.obs import read_trace_jsonl
+
+        data = read_trace_jsonl(path)
+        names = [s["name"] for s in data["spans"]]
+        assert names[0] == "trace"
+        assert any(n.startswith("experiment.") for n in names)
+        assert data["counters"]["experiment.runs"] == 1
+
+    def test_trace_result_flag(self, capsys):
+        assert main(["trace", "fig2_sample", "--result"]) == 0
+        out = capsys.readouterr().out
+        assert "I(v)" in out  # the experiment table came along
+
+    def test_trace_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["trace", "bogus"])
+
+    def test_trace_leaves_observability_disabled(self, capsys):
+        from repro import obs
+
+        assert main(["trace", "fig2_sample"]) == 0
+        capsys.readouterr()
+        assert not obs.enabled()
+
+    def test_sweep_trace_out_reconciles_with_manifest(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        manifest_path = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig2_sample",
+                    "fig7_linear_chain",
+                    "--no-cache",
+                    "--manifest",
+                    str(manifest_path),
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        from repro.obs import read_trace_jsonl
+        from repro.runner import RunManifest
+
+        data = read_trace_jsonl(trace_path)
+        manifest = RunManifest.from_json(manifest_path.read_text())
+        task_spans = [s for s in data["spans"] if s["name"] == "runner.task"]
+        assert len(task_spans) == manifest.n_tasks == 2
+        for span in task_spans:
+            record = next(
+                t for t in manifest.tasks if t.index == span["attrs"]["index"]
+            )
+            assert record.experiment_id == span["attrs"]["experiment_id"]
+            assert abs(record.wall_time_s - span["duration_s"]) < 1e-9
+        assert data["counters"]["runner.cache.miss"] == 2

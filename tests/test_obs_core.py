@@ -1,0 +1,173 @@
+"""Tests for the observability core: spans, counters, gauges, export."""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+
+    def test_disabled_span_is_shared_noop(self):
+        a = obs.span("x", big=list(range(5)))
+        b = obs.span("y")
+        assert a is b  # one shared object, no allocation per call
+        with a as s:
+            s.set(ignored=1)
+        assert obs.snapshot().spans == []
+
+    def test_disabled_count_and_gauge_record_nothing(self):
+        obs.count("c", 10)
+        obs.gauge("g", 2.5)
+        assert obs.counters() == {}
+        assert obs.gauges() == {}
+
+    def test_disabled_record_span_records_nothing(self):
+        obs.record_span("task", 1.0, k="v")
+        assert obs.snapshot().spans == []
+
+
+class TestSpans:
+    def test_nesting_and_timing(self):
+        with obs.capture():
+            with obs.span("outer", n=3):
+                with obs.span("inner"):
+                    pass
+                with obs.span("inner2"):
+                    pass
+        snap = obs.snapshot()
+        assert [s.name for s in snap.spans] == ["outer"]
+        outer = snap.spans[0]
+        assert [c.name for c in outer.children] == ["inner", "inner2"]
+        assert outer.attrs == {"n": 3}
+        assert outer.duration_s >= outer.children[0].duration_s >= 0.0
+        # children are contained in the parent's window
+        for child in outer.children:
+            assert outer.start_s <= child.start_s <= child.end_s <= outer.end_s
+        assert snap.max_depth() == 2
+        assert snap.n_spans == 3
+
+    def test_span_set_attrs(self):
+        with obs.capture():
+            with obs.span("s") as sp:
+                sp.set(rows=7)
+        assert obs.snapshot().spans[0].attrs == {"rows": 7}
+
+    def test_span_records_exception_and_propagates(self):
+        with obs.capture():
+            with pytest.raises(ValueError):
+                with obs.span("boom"):
+                    raise ValueError("x")
+        (root,) = obs.snapshot().spans
+        assert root.attrs["error"] == "ValueError"
+        assert root.end_s >= root.start_s
+
+    def test_record_span_synthetic_window(self):
+        with obs.capture():
+            with obs.span("parent"):
+                obs.record_span("task", 0.25, worker="7")
+        (parent,) = obs.snapshot().spans
+        (task,) = parent.children
+        assert task.duration_s == pytest.approx(0.25)
+        assert task.attrs == {"worker": "7"}
+
+    def test_counters_accumulate(self):
+        with obs.capture():
+            obs.count("a")
+            obs.count("a", 4)
+            obs.gauge("g", 1.0)
+            obs.gauge("g", 3.0)
+        assert obs.counters() == {"a": 5}
+        assert obs.gauges() == {"g": 3.0}
+
+    def test_capture_restores_previous_state(self):
+        assert not obs.enabled()
+        with obs.capture():
+            assert obs.enabled()
+        assert not obs.enabled()
+        obs.enable()
+        with obs.capture():
+            pass
+        assert obs.enabled()
+
+    def test_capture_reset_first(self):
+        with obs.capture():
+            obs.count("a")
+        with obs.capture():  # resets by default
+            pass
+        assert obs.counters() == {}
+        with obs.capture(reset_first=False):
+            obs.count("b")
+        assert obs.counters() == {"b": 1}
+
+
+class TestExport:
+    def _sample(self):
+        with obs.capture():
+            with obs.span("root", n=1):
+                with obs.span("child"):
+                    obs.count("hits", 2)
+            obs.gauge("ratio", 0.5)
+        return obs.snapshot()
+
+    def test_jsonable_parent_links(self):
+        snap = self._sample()
+        records = obs.spans_to_jsonable(snap.spans)
+        assert [r["name"] for r in records] == ["root", "child"]
+        assert records[0]["parent"] is None and records[0]["depth"] == 0
+        assert records[1]["parent"] == 0 and records[1]["depth"] == 1
+        json.dumps(records)  # strictly JSON-safe
+
+    def test_jsonl_round_trip(self, tmp_path):
+        snap = self._sample()
+        path = obs.write_trace_jsonl(tmp_path / "t.jsonl", snap)
+        data = obs.read_trace_jsonl(path)
+        assert [r["name"] for r in data["spans"]] == ["root", "child"]
+        assert data["counters"] == {"hits": 2}
+        assert data["gauges"] == {"ratio": 0.5}
+        # one JSON object per line
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2 + 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_render_span_tree(self):
+        snap = self._sample()
+        text = obs.render_span_tree(snap)
+        assert "root" in text and "child" in text and "ms" in text
+        assert "└─" in text
+
+    def test_render_span_tree_truncates(self):
+        with obs.capture():
+            for _ in range(20):
+                with obs.span("s"):
+                    pass
+        text = obs.render_span_tree(obs.snapshot(), max_spans=5)
+        assert "truncated" in text
+
+    def test_render_counters(self):
+        snap = self._sample()
+        text = obs.render_counters(snap)
+        assert "hits" in text and "2" in text
+        assert "ratio" in text
+
+    def test_render_empty(self):
+        assert "no spans" in obs.render_span_tree(obs.snapshot())
+        assert "no counters" in obs.render_counters(obs.snapshot())
+
+    def test_snapshot_to_json(self):
+        snap = self._sample()
+        payload = json.loads(snap.to_json())
+        assert payload["counters"] == {"hits": 2}
+        assert len(payload["spans"]) == 2
