@@ -43,6 +43,7 @@ from repro.highway.a_apx import a_apx
 from repro.highway.a_exp import a_exp
 from repro.highway.a_gen import a_gen
 from repro.highway.linear import linear_chain
+from repro.opt import OptConfig, solve_opt, verify_certificate
 from repro.runner import ResultCache, SweepTask, expand_grid, run_sweep
 
 __version__ = "1.0.0"
@@ -74,5 +75,8 @@ __all__ = [
     "SweepTask",
     "expand_grid",
     "run_sweep",
+    "OptConfig",
+    "solve_opt",
+    "verify_certificate",
     "__version__",
 ]

@@ -81,6 +81,18 @@ from repro.interference.sender import edge_coverage, sender_interference
 from repro.interference.traffic import traffic_interference
 from repro.model.topology import Topology
 from repro.model.udg import unit_disk_graph
+from repro.opt import (
+    Certificate,
+    CertificateError,
+    OptConfig,
+    OptOutcome,
+    certify_topology,
+    combinatorial_lower_bound,
+    exhaustive_opt,
+    heuristic_opt,
+    solve_opt,
+    verify_certificate,
+)
 from repro.runner import (
     ResultCache,
     RunManifest,
@@ -94,7 +106,9 @@ from repro.runner import (
 from repro.topologies import (
     ALGORITHMS,
     HIGHWAY_ALGORITHMS,
+    OPTIMIZERS,
     is_highway,
+    is_optimizer,
     registered_names,
 )
 from repro.topologies import build as build_topology
@@ -136,9 +150,22 @@ __all__ = [
     # topology-control registry
     "ALGORITHMS",
     "HIGHWAY_ALGORITHMS",
+    "OPTIMIZERS",
     "build_topology",
     "is_highway",
+    "is_optimizer",
     "registered_names",
+    # optimization (certified solvers)
+    "Certificate",
+    "CertificateError",
+    "OptConfig",
+    "OptOutcome",
+    "certify_topology",
+    "combinatorial_lower_bound",
+    "exhaustive_opt",
+    "heuristic_opt",
+    "solve_opt",
+    "verify_certificate",
     # distributed execution
     "DistributedResult",
     "Protocol",

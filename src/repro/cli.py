@@ -165,7 +165,118 @@ def _build_parser() -> argparse.ArgumentParser:
     churn.add_argument(
         "--json", type=Path, default=None, help="also write the result as JSON"
     )
+    opt = sub.add_parser(
+        "opt",
+        help="run the certified minimum-interference solver on a named "
+        "instance family; prints the proven bracket and verifies the "
+        "certificate",
+    )
+    opt.add_argument(
+        "instance",
+        choices=sorted(OPT_INSTANCES),
+        help="instance family (two_chain interprets --n as the chain "
+        "parameter m, giving 3m-1 nodes)",
+    )
+    opt.add_argument("--n", type=int, default=12, help="instance size parameter")
+    opt.add_argument("--seed", type=int, default=0, help="instance/solver seed")
+    opt.add_argument(
+        "--unit", type=float, default=None,
+        help="unit range override (default: per-family choice)",
+    )
+    opt.add_argument(
+        "--node-budget", type=int, default=200_000,
+        help="search-node budget; 0 disables it (default: %(default)s, so "
+        "large instances terminate with a certified bracket)",
+    )
+    opt.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the search phase",
+    )
+    opt.add_argument(
+        "--json", type=Path, default=None,
+        help="also write the outcome + certificate as JSON",
+    )
     return parser
+
+
+#: instance families the ``opt`` subcommand can solve: name ->
+#: ``(n, seed) -> (positions, default_unit)``
+OPT_INSTANCES = {
+    "exp_chain": lambda n, seed: _gen("exponential_chain", n),
+    "uniform_chain": lambda n, seed: _gen("uniform_chain", n, spacing=0.1),
+    "two_chain": lambda n, seed: _gen_two_chain(n),
+    "random": lambda n, seed: _gen("random_udg_connected", n, side=1.0, seed=seed),
+    "cluster": lambda n, seed: _gen("cluster_with_remote", n, seed=seed),
+}
+
+
+def _gen(name, n, **kwargs):
+    from repro.geometry import generators
+
+    return getattr(generators, name)(n, **kwargs), 1.0
+
+
+def _gen_two_chain(m):
+    from repro.geometry.generators import two_exponential_chains
+
+    pos, _info = two_exponential_chains(m)
+    return pos, 2.0 ** (m + 1)
+
+
+def _opt(args) -> int:
+    from repro.opt import OptConfig, solve_opt, verify_certificate
+
+    pos, unit = OPT_INSTANCES[args.instance](args.n, args.seed)
+    if args.unit is not None:
+        unit = args.unit
+    config = OptConfig(
+        node_budget=args.node_budget if args.node_budget > 0 else None,
+        time_budget_s=args.time_budget,
+        seed=args.seed,
+    )
+    outcome = solve_opt(pos, unit=unit, config=config)
+    n = pos.shape[0]
+    print(f"opt: {args.instance} n={n} unit={unit:g}")
+    if outcome.exact:
+        print(f"  OPT = {outcome.value}  [proven optimal, status={outcome.status}]")
+    else:
+        print(
+            f"  {outcome.lower_bound} <= OPT <= {outcome.value}  "
+            f"[certified bracket, status={outcome.status}]"
+        )
+    cert = outcome.certificate
+    print(
+        f"  lower bound via: {cert.lower_bound_method}; witness: "
+        f"{len(cert.edges)} edge(s)"
+    )
+    stats = outcome.stats
+    print(
+        "  search: {nodes} node(s) expanded, prunes "
+        "cov={cov} forced={forced} conn={conn} iso={iso} sym={sym}".format(
+            nodes=stats.get("nodes_expanded", 0),
+            cov=stats.get("prune_coverage", 0),
+            forced=stats.get("prune_forced", 0),
+            conn=stats.get("prune_connectivity", 0),
+            iso=stats.get("prune_isolation", 0),
+            sym=stats.get("prune_symmetry", 0),
+        )
+    )
+    verify_certificate(pos, cert)
+    print("  certificate: VERIFIED")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps({
+            "instance": args.instance,
+            "n": n,
+            "unit": unit,
+            "value": outcome.value,
+            "lower_bound": outcome.lower_bound,
+            "status": outcome.status,
+            "stats": dict(stats),
+            "certificate": cert.to_jsonable(),
+        }, indent=2))
+        print(f"  wrote {args.json}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -213,6 +324,9 @@ def _main(argv: list[str] | None = None) -> int:
 
     if args.command == "trace":
         return _trace(args, experiments)
+
+    if args.command == "opt":
+        return _opt(args)
 
     if args.command == "churn":
         result = experiments.run(

@@ -35,6 +35,7 @@ from repro.experiments import (  # noqa: F401  (import for side effects)
     distributed_tc,
     ablation_spacing,
     churn_resilience,
+    opt_gap,
 )
 
 __all__ = [

@@ -1,0 +1,137 @@
+"""OPT-gap: measured heuristics against the *certified* optimum.
+
+Earlier experiments compare the constructions against each other or
+against asymptotic bounds; this one anchors them to ground truth. For
+each instance the certified solver (:mod:`repro.opt`) produces a bracket
+``lb <= OPT <= ub`` whose certificate is independently re-verified, and
+the classical NNF / XTC baselines plus the paper's A_exp / A_apx highway
+constructions are measured against it. On highway instances A_exp should
+land within a small factor of OPT (Theorem 5.1 vs Theorem 5.2), while the
+NNF sits Omega(n) off on the two-chains family (Theorem 4.1) — here that
+gap is against a *proven* optimum, not a heuristic proxy.
+
+Instance sizes default small enough that the solver proves optimality
+outright (``status=optimal``); the node budget is a terminating backstop,
+and budget-limited rows still report a valid certified bracket.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.geometry.generators import (
+    exponential_chain,
+    random_udg_connected,
+    two_exponential_chains,
+)
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.opt import OptConfig, solve_opt, verify_certificate
+from repro.topologies import build
+
+
+def _measure(name: str, udg) -> int | None:
+    """Interference of ``build(name, udg)``; None when the construction
+    does not apply (disconnected result on a non-highway instance)."""
+    topo = build(name, udg)
+    if not topo.is_connected():
+        return None
+    return int(graph_interference(topo))
+
+
+@register(
+    "opt_gap",
+    "NNF/XTC/A_exp/A_apx interference vs certified OPT",
+    "Theorems 4.1, 5.1, 5.2 / repro.opt",
+)
+def run_opt_gap(
+    exp_ns=(7, 8, 10),
+    two_chain_ms=(3, 4),
+    random_ns=(8,),
+    node_budget=60_000,
+    seed=0,
+) -> ExperimentResult:
+    instances = []
+    for n in exp_ns:
+        instances.append((f"exp_chain({n})", exponential_chain(n), 1.0, True))
+    for m in two_chain_ms:
+        pos, _ = two_exponential_chains(m)
+        instances.append((f"two_chain(m={m})", pos, float(2.0 ** (m + 1)), False))
+    for i, n in enumerate(random_ns):
+        pos = random_udg_connected(n, side=1.0, seed=seed + i)
+        instances.append((f"random({n},s={seed + i})", pos, 1.0, False))
+
+    cfg = OptConfig(node_budget=node_budget, seed=seed)
+    rows = []
+    data = {
+        "label": [], "n": [], "nnf": [], "xtc": [], "a_exp": [], "a_apx": [],
+        "opt_lb": [], "opt_ub": [], "exact": [],
+    }
+    for label, pos, unit, is_highway_instance in instances:
+        udg = unit_disk_graph(pos, unit=unit)
+        outcome = solve_opt(pos, unit=unit, config=cfg)
+        verify_certificate(pos, outcome.certificate)
+        measured = {
+            # the NNF is a forest; its interference is measured regardless of
+            # connectivity because it lower-bounds every NNF-containing
+            # connected topology (Theorem 4.1's comparison)
+            "nnf": int(graph_interference(build("nnf", udg))),
+            "xtc": _measure("xtc", udg),
+            # the highway constructions only make sense on 1-D instances
+            "a_exp": _measure("a_exp", udg) if is_highway_instance else None,
+            "a_apx": _measure("a_apx", udg) if is_highway_instance else None,
+        }
+        fmt = {k: ("-" if v is None else v) for k, v in measured.items()}
+        bracket = (
+            str(outcome.value)
+            if outcome.exact
+            else f"[{outcome.lower_bound},{outcome.value}]"
+        )
+        rows.append(
+            [
+                label,
+                pos.shape[0],
+                fmt["nnf"],
+                fmt["xtc"],
+                fmt["a_exp"],
+                fmt["a_apx"],
+                bracket,
+                outcome.status,
+            ]
+        )
+        data["label"].append(label)
+        data["n"].append(int(pos.shape[0]))
+        for k in ("nnf", "xtc", "a_exp", "a_apx"):
+            data[k].append(measured[k])
+        data["opt_lb"].append(outcome.lower_bound)
+        data["opt_ub"].append(outcome.value)
+        data["exact"].append(outcome.exact)
+
+    # worst certified gap per algorithm: measured / certified upper bound
+    # (>= true ratio denominator, so this never overstates the gap)
+    gaps = {}
+    for k in ("nnf", "xtc", "a_exp", "a_apx"):
+        ratios = [
+            v / ub
+            for v, ub in zip(data[k], data["opt_ub"])
+            if v is not None and ub > 0
+        ]
+        gaps[k] = max(ratios) if ratios else None
+    gap_notes = ", ".join(
+        f"{k} {gaps[k]:.2f}x" for k in sorted(gaps) if gaps[k] is not None
+    )
+    n_exact = sum(data["exact"])
+    return ExperimentResult(
+        experiment_id="opt_gap",
+        title="Interference of known constructions vs certified optimum",
+        headers=["instance", "n", "I(NNF)", "I(XTC)", "I(A_exp)", "I(A_apx)",
+                 "OPT (certified)", "status"],
+        rows=rows,
+        notes=[
+            f"{n_exact}/{len(instances)} instance(s) solved to proven "
+            "optimality; remaining rows report certified [lb,ub] brackets",
+            f"worst measured/OPT gap: {gap_notes}",
+            "every certificate re-verified independently "
+            "(repro.opt.verify_certificate)",
+        ],
+        data=data,
+    )

@@ -23,8 +23,12 @@ from repro.model.topology import Topology
 from repro.utils import as_generator
 
 
-def _tree_path(adj: list[set[int]], a: int, b: int) -> list[int]:
-    """Unique a-b path in a tree given its adjacency sets."""
+def tree_path(adj: list[set[int]], a: int, b: int) -> list[int]:
+    """Unique a-b path in a tree given its adjacency sets.
+
+    Shared with the simulated-annealing heuristic of
+    :mod:`repro.opt.heuristic`, which proposes the same edge-swap moves.
+    """
     parent = {a: -1}
     q = deque([a])
     while q:
@@ -42,7 +46,8 @@ def _tree_path(adj: list[set[int]], a: int, b: int) -> list[int]:
     return path
 
 
-def _radius_of(adj: list[set[int]], pos: np.ndarray, u: int) -> float:
+def node_radius(adj: list[set[int]], pos: np.ndarray, u: int) -> float:
+    """Distance from ``u`` to its farthest neighbour in ``adj`` (0 if none)."""
     if not adj[u]:
         return 0.0
     return max(float(np.hypot(*(pos[u] - pos[v]))) for v in adj[u])
@@ -104,7 +109,7 @@ def reduce_interference(
             adj[u].discard(v)
             adj[v].discard(u)
         for w in (u, v):
-            r = _radius_of(adj, pos, w)
+            r = node_radius(adj, pos, w)
             if adj[w]:
                 tracker.set_radius(w, r)
             else:
@@ -119,7 +124,7 @@ def reduce_interference(
             a, b = candidates[idx]
             if b in adj[a]:
                 continue
-            path = _tree_path(adj, a, b)
+            path = tree_path(adj, a, b)
             apply_edge_change(a, b, add=True)
             swap_done = False
             for x, y in zip(path, path[1:]):

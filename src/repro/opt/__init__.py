@@ -1,0 +1,51 @@
+"""``repro.opt`` — exact/certified minimum-interference solvers.
+
+The optimization layer of the reproduction (see ``docs/OPTIMALITY.md``):
+
+- :func:`solve_opt` — branch-and-bound over candidate radii with
+  admissible combinatorial bounds, anytime budgets and a returned
+  :class:`Certificate`;
+- :func:`verify_certificate` — independent re-check of a certificate
+  (witness validity + re-derivable lower bound);
+- :func:`exhaustive_opt` — the obviously-correct full enumeration the
+  solver is property-tested against (tiny ``n`` only);
+- :func:`heuristic_opt` — seeded simulated annealing + local search for
+  certified upper bounds on instances the exact search cannot finish;
+- :func:`combinatorial_lower_bound` — the search-free certified floor;
+- :class:`OptConfig` — frozen keyword-only solver options.
+"""
+
+from repro.opt.bounds import (
+    combinatorial_lower_bound,
+    forced_coverage_bound,
+    gamma_bound,
+)
+from repro.opt.certificate import (
+    Certificate,
+    CertificateError,
+    certify_topology,
+    instance_digest,
+    verify_certificate,
+)
+from repro.opt.config import OptConfig
+from repro.opt.heuristic import heuristic_opt
+from repro.opt.oracle import ORACLE_MAX_NODES, exhaustive_opt
+from repro.opt.solver import SOLVER_MAX_NODES, OptOutcome, solve_opt
+
+__all__ = [
+    "Certificate",
+    "CertificateError",
+    "OptConfig",
+    "OptOutcome",
+    "ORACLE_MAX_NODES",
+    "SOLVER_MAX_NODES",
+    "certify_topology",
+    "combinatorial_lower_bound",
+    "exhaustive_opt",
+    "forced_coverage_bound",
+    "gamma_bound",
+    "heuristic_opt",
+    "instance_digest",
+    "solve_opt",
+    "verify_certificate",
+]

@@ -1,0 +1,110 @@
+"""The candidate-radii argument — the discretisation behind every solver.
+
+Interference depends on a topology only through the derived radii
+``r_u = max_{v in N_u} |u, v|``, and each radius is by construction the
+distance from ``u`` to one of its neighbours. Conversely, for any radius
+vector ``r`` the *maximal* admissible edge set
+
+    ``E(r) = { {u, v} : |u, v| <= min(r_u, r_v) }``
+
+is the easiest edge set to connect while leaving every disk (hence the
+interference) unchanged. Therefore::
+
+    OPT = min { I(r) : r_u in D_u, E(r) connected }
+
+where ``D_u`` is the set of distances from ``u`` to the other nodes, capped
+at the unit range. This module computes the ``D_u`` and the induced
+coverage masks; the exhaustive oracle (:mod:`repro.opt.oracle`) and the
+branch-and-bound solver (:mod:`repro.opt.solver`) both search this finite
+space, and the certificate verifier (:mod:`repro.opt.certificate`)
+re-checks that a witness radius vector actually lives in it. See
+``docs/OPTIMALITY.md`` for the full argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import distance_matrix
+from repro.graphs.unionfind import DisjointSet
+from repro.model.topology import Topology
+from repro.utils import check_positions
+
+
+def candidate_radii(
+    dist: np.ndarray, *, unit: float = 1.0, tolerance: float = 1e-9
+) -> list[np.ndarray]:
+    """Per node, the sorted distinct candidate radii (``> 0``, ``<= unit``).
+
+    ``dist`` is the full pairwise distance matrix. A node whose candidate
+    list is empty cannot reach anybody within the unit range — the
+    instance is never connectable and callers should fail fast.
+    """
+    n = dist.shape[0]
+    out = []
+    for u in range(n):
+        d = np.unique(dist[u])
+        d = d[(d > 0) & (d <= unit * (1.0 + tolerance))]
+        out.append(d)
+    return out
+
+
+def coverage_masks(
+    dist: np.ndarray, cands: list[np.ndarray], *, tolerance: float = 1e-9
+) -> list[np.ndarray]:
+    """``masks[u][j]`` = boolean row of nodes covered by ``u`` at its
+    ``j``-th candidate radius (self excluded). Rows are nested: a larger
+    candidate covers a superset of any smaller one."""
+    n = dist.shape[0]
+    masks = []
+    for u in range(n):
+        rows = dist[u][None, :] <= cands[u][:, None] * (1.0 + tolerance)
+        rows[:, u] = False
+        masks.append(rows)
+    return masks
+
+
+def maximal_edges(
+    dist: np.ndarray, radii: np.ndarray, *, tolerance: float = 1e-9
+) -> np.ndarray:
+    """The maximal admissible edge set ``E(r)`` as an ``(m, 2)`` array."""
+    n = dist.shape[0]
+    rows = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if dist[u, v] <= min(radii[u], radii[v]) * (1.0 + tolerance)
+    ]
+    return np.array(rows, dtype=np.int64).reshape(-1, 2)
+
+
+def connected_under(
+    dist: np.ndarray, radii: np.ndarray, *, tolerance: float = 1e-9
+) -> bool:
+    """Is the maximal edge set ``E(r)`` connected?"""
+    n = dist.shape[0]
+    if n <= 1:
+        return True
+    ds = DisjointSet(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if dist[u, v] <= min(radii[u], radii[v]) * (1.0 + tolerance):
+                ds.union(u, v)
+                if ds.n_components == 1:
+                    return True
+    return False
+
+
+def witness_topology(
+    positions, radii: np.ndarray, *, tolerance: float = 1e-9
+) -> Topology:
+    """The maximal-edge-set topology realising a radius vector.
+
+    The derived radii of the returned topology can only *shrink* relative
+    to ``radii`` (each node's farthest ``E(r)``-neighbour is at most its
+    assigned radius away), so its measured interference never exceeds the
+    radius vector's coverage maximum — and equals it at the optimum.
+    """
+    pos = check_positions(positions)
+    dist = distance_matrix(pos)
+    return Topology(pos, maximal_edges(dist, radii, tolerance=tolerance))

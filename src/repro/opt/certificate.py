@@ -1,0 +1,308 @@
+"""Certificates: a witness topology plus a proven bound, independently
+re-checkable.
+
+A :class:`Certificate` is the solver's *externalizable* output: everything
+needed to convince a third party of the bracket ``lower_bound <= OPT <=
+value`` without trusting the solver's in-memory state. The witness side
+(``OPT <= value``) is always checkable in polynomial time; the lower-bound
+side depends on :attr:`Certificate.lower_bound_method`:
+
+- ``"combinatorial"`` — the bound follows from :mod:`repro.opt.bounds`
+  alone; the verifier recomputes it from the instance.
+- ``"search"`` — the solver exhausted the decision search at
+  ``lower_bound - 1``. For small instances the verifier *re-derives* this
+  with its own exhaustive decision procedure (built on the oracle's plain
+  enumeration, sharing no pruning machinery with the solver); for larger
+  instances the claim is recorded but only the combinatorial floor is
+  re-checked (see ``recheck_search``).
+
+Certificates are JSON round-trip safe and tied to the instance by a
+SHA-256 digest of the canonical position bytes + unit range, so a
+certificate cannot silently be re-used on a perturbed instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.geometry.points import distance_matrix
+from repro.interference.receiver import graph_interference
+from repro.opt.bounds import combinatorial_lower_bound
+from repro.opt.candidates import (
+    candidate_radii,
+    coverage_masks,
+    maximal_edges,
+    witness_topology,
+)
+from repro.opt.oracle import ORACLE_MAX_NODES
+from repro.utils import check_positions
+
+
+class CertificateError(ValueError):
+    """A certificate failed independent re-verification."""
+
+
+def instance_digest(positions, *, unit: float = 1.0) -> str:
+    """SHA-256 digest binding a certificate to one instance."""
+    pos = np.ascontiguousarray(check_positions(positions), dtype=np.float64)
+    h = hashlib.sha256()
+    h.update(pos.tobytes())
+    h.update(np.float64(unit).tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Witness topology + proven bound for one instance.
+
+    ``value`` is the certified upper bound (the measured interference of
+    the witness); ``lower_bound`` the proven lower bound; equality means
+    the optimum is known exactly (:attr:`exact`).
+    """
+
+    value: int
+    lower_bound: int
+    lower_bound_method: str  # "combinatorial" | "search"
+    radii: tuple[float, ...]
+    edges: tuple[tuple[int, int], ...]
+    unit: float
+    digest: str
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def exact(self) -> bool:
+        return self.lower_bound == self.value
+
+    def to_jsonable(self) -> dict:
+        return {
+            "value": self.value,
+            "lower_bound": self.lower_bound,
+            "lower_bound_method": self.lower_bound_method,
+            "radii": list(self.radii),
+            "edges": [list(e) for e in self.edges],
+            "unit": self.unit,
+            "digest": self.digest,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "Certificate":
+        return cls(
+            value=int(payload["value"]),
+            lower_bound=int(payload["lower_bound"]),
+            lower_bound_method=str(payload["lower_bound_method"]),
+            radii=tuple(float(r) for r in payload["radii"]),
+            edges=tuple((int(u), int(v)) for u, v in payload["edges"]),
+            unit=float(payload["unit"]),
+            digest=str(payload["digest"]),
+            stats=dict(payload.get("stats", {})),
+        )
+
+
+def certify_topology(
+    positions, topology, *, unit: float = 1.0, tolerance: float = 1e-9
+) -> Certificate:
+    """Wrap an arbitrary connected witness into a verifiable certificate.
+
+    Derives each node's radius as its longest incident edge (an inter-node
+    distance, hence a candidate radius), completes the edge set to the
+    maximal admissible ``E(r)`` — which contains every original edge, so
+    connectivity and per-node radii are preserved — and pairs the measured
+    interference with the search-free combinatorial lower bound. This is
+    how instances beyond :data:`repro.opt.solver.SOLVER_MAX_NODES` get
+    *certified* upper bounds: any heuristic topology becomes a checkable
+    ``lb <= OPT <= value`` bracket.
+
+    Raises ``ValueError`` when the witness is disconnected, uses an edge
+    longer than ``unit``, or disagrees with ``positions`` in size.
+    """
+    pos = check_positions(positions)
+    n = pos.shape[0]
+    if topology.n != n:
+        raise ValueError(
+            f"witness has {topology.n} nodes, instance has {n}"
+        )
+    if n <= 1:
+        return Certificate(
+            value=0,
+            lower_bound=0,
+            lower_bound_method="combinatorial",
+            radii=(0.0,) * n,
+            edges=(),
+            unit=unit,
+            digest=instance_digest(pos, unit=unit),
+            stats={"source": "certify_topology"},
+        )
+    if not topology.is_connected():
+        raise ValueError("witness topology is disconnected")
+    dist = distance_matrix(pos)
+    radii = np.zeros(n, dtype=np.float64)
+    for u, v in topology.edges:
+        d = dist[int(u), int(v)]
+        radii[int(u)] = max(radii[int(u)], d)
+        radii[int(v)] = max(radii[int(v)], d)
+    if np.any(radii > unit * (1.0 + tolerance)):
+        raise ValueError(
+            "witness uses an edge longer than the unit range; "
+            "it cannot certify a bound for this instance"
+        )
+    witness = witness_topology(pos, radii, tolerance=tolerance)
+    value = int(graph_interference(witness))
+    lower = combinatorial_lower_bound(pos, unit=unit, tolerance=tolerance)
+    return Certificate(
+        value=value,
+        lower_bound=lower,
+        lower_bound_method="combinatorial",
+        radii=tuple(float(r) for r in radii),
+        edges=tuple((min(int(u), int(v)), max(int(u), int(v)))
+                    for u, v in witness.edges),
+        unit=unit,
+        digest=instance_digest(pos, unit=unit),
+        stats={"source": "certify_topology"},
+    )
+
+
+def _exhaustive_decision(
+    dist: np.ndarray, k: int, *, unit: float, tolerance: float
+) -> bool:
+    """Oracle-grade decision procedure: is some connected assignment with
+    interference ``<= k`` reachable? Plain enumeration with only the
+    definitional monotone cut — deliberately independent of the solver's
+    pruning machinery."""
+    from repro.opt.candidates import connected_under
+
+    n = dist.shape[0]
+    cands = candidate_radii(dist, unit=unit, tolerance=tolerance)
+    if any(c.size == 0 for c in cands):
+        return False
+    masks = coverage_masks(dist, cands, tolerance=tolerance)
+    counts = np.zeros(n, dtype=np.int64)
+    chosen = np.zeros(n, dtype=np.float64)
+
+    def dfs(u: int) -> bool:
+        nonlocal counts
+        if counts.max() > k:
+            return False
+        if u == n:
+            return connected_under(dist, chosen, tolerance=tolerance)
+        for j in range(cands[u].size):
+            add = masks[u][j].astype(np.int64)
+            counts += add
+            chosen[u] = cands[u][j]
+            if dfs(u + 1):
+                return True
+            counts -= add
+        chosen[u] = 0.0
+        return False
+
+    return dfs(0)
+
+
+def verify_certificate(
+    positions,
+    certificate: Certificate,
+    *,
+    tolerance: float = 1e-9,
+    recheck_search: bool | None = None,
+) -> bool:
+    """Re-check a certificate from scratch; raise :class:`CertificateError`
+    on any inconsistency, return ``True`` otherwise.
+
+    Checks performed:
+
+    1. the digest matches the instance (positions + unit);
+    2. every witness radius is one of its node's inter-node distances,
+       within the unit range (the candidate-radii argument), or 0 for an
+       instance with a single node;
+    3. the witness edges are exactly the maximal admissible edge set
+       ``E(r)`` of the claimed radii, and that edge set is connected;
+    4. the *measured* interference of the witness topology equals
+       ``value`` (so ``OPT <= value`` holds by exhibition);
+    5. ``lower_bound <= value`` and ``lower_bound`` is re-derivable:
+       the recomputed combinatorial bound must reach it for method
+       ``"combinatorial"``; for method ``"search"`` the verifier re-runs
+       its own exhaustive decision procedure at ``lower_bound - 1``
+       (``recheck_search=None`` auto-enables this for
+       ``n <= ORACLE_MAX_NODES``) and otherwise accepts the recorded
+       claim once the combinatorial floor checks out.
+    """
+    pos = check_positions(positions)
+    n = pos.shape[0]
+    with obs.span("opt.verify", n=n):
+        _verify(pos, certificate, tolerance, recheck_search)
+        obs.count("opt.certificates.verified")
+    return True
+
+
+def _verify(pos, cert, tolerance, recheck_search) -> None:
+    n = pos.shape[0]
+    if instance_digest(pos, unit=cert.unit) != cert.digest:
+        raise CertificateError("digest mismatch: certificate is for a different instance")
+    if len(cert.radii) != n:
+        raise CertificateError(f"witness has {len(cert.radii)} radii for {n} nodes")
+    if cert.lower_bound > cert.value:
+        raise CertificateError(
+            f"inconsistent bracket: lower_bound {cert.lower_bound} > value {cert.value}"
+        )
+    if n <= 1:
+        if cert.value != 0 or cert.lower_bound != 0:
+            raise CertificateError("trivial instance must certify OPT = 0")
+        return
+
+    dist = distance_matrix(pos)
+    radii = np.asarray(cert.radii, dtype=np.float64)
+    cands = candidate_radii(dist, unit=cert.unit, tolerance=tolerance)
+    for u in range(n):
+        if not np.any(np.isclose(cands[u], radii[u], rtol=max(tolerance, 1e-12), atol=0.0)):
+            raise CertificateError(
+                f"radius of node {u} ({radii[u]!r}) is not a candidate "
+                "inter-node distance within the unit range"
+            )
+
+    expected = {tuple(e) for e in maximal_edges(dist, radii, tolerance=tolerance)}
+    got = {(min(u, v), max(u, v)) for u, v in cert.edges}
+    if got != expected:
+        raise CertificateError(
+            "witness edges are not the maximal admissible edge set E(r) "
+            f"of the claimed radii ({len(got)} vs {len(expected)} edges)"
+        )
+    topo = witness_topology(pos, radii, tolerance=tolerance)
+    if not topo.is_connected():
+        raise CertificateError("witness topology is disconnected")
+    measured = int(graph_interference(topo))
+    if measured != cert.value:
+        raise CertificateError(
+            f"witness measures interference {measured}, certificate claims {cert.value}"
+        )
+
+    floor = combinatorial_lower_bound(pos, unit=cert.unit, tolerance=tolerance)
+    if cert.lower_bound_method == "combinatorial":
+        if floor < cert.lower_bound:
+            raise CertificateError(
+                f"combinatorial bound re-derives only {floor}, "
+                f"certificate claims {cert.lower_bound}"
+            )
+    elif cert.lower_bound_method == "search":
+        if cert.lower_bound < floor:
+            raise CertificateError(
+                f"search bound {cert.lower_bound} below the combinatorial "
+                f"floor {floor} — solver regression"
+            )
+        if recheck_search is None:
+            recheck_search = n <= ORACLE_MAX_NODES
+        if recheck_search and cert.lower_bound > floor:
+            if _exhaustive_decision(
+                dist, cert.lower_bound - 1, unit=cert.unit, tolerance=tolerance
+            ):
+                raise CertificateError(
+                    f"independent enumeration found interference "
+                    f"<= {cert.lower_bound - 1}; the claimed lower bound is wrong"
+                )
+    else:
+        raise CertificateError(
+            f"unknown lower_bound_method {cert.lower_bound_method!r}"
+        )

@@ -1,0 +1,147 @@
+"""Seeded upper-bound heuristic: simulated annealing over spanning trees.
+
+The exact solver needs a good incumbent to prune against, and instances
+beyond ~16 nodes need *some* certified upper bound even when the search
+cannot finish. This module provides both: a seeded simulated-annealing
+walk over spanning trees of the unit disk graph (the same edge-swap move
+as :func:`repro.extensions.local_search.reduce_interference`, whose
+helpers it reuses), followed by the deterministic hill-climb itself. The
+result is a connected UDG-subgraph witness, so its measured interference
+is always a valid certified upper bound on OPT.
+
+Annealing proposes a random non-tree UDG edge, closes the cycle, removes a
+random cycle edge, and accepts by the Metropolis rule on the lexicographic
+objective ``(I(G), sum I(v))`` flattened to ``I(G) * n^2 + sum`` — worse
+moves pass with probability ``exp(-delta / T)`` under a geometric
+temperature schedule. The best tree ever visited (not the last) goes into
+the final hill-climb.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import obs
+from repro.extensions.local_search import (
+    node_radius,
+    reduce_interference,
+    tree_path,
+)
+from repro.graphs.mst import euclidean_mst_edges
+from repro.interference.incremental import InterferenceTracker
+from repro.interference.receiver import graph_interference
+from repro.model.topology import Topology
+from repro.opt.config import OptConfig
+from repro.utils import as_generator, check_positions
+
+#: Annealing proposals per node (the walk length is ``ANNEAL_STEPS_PER_NODE
+#: * n``), balanced so the heuristic stays well under the exact search's
+#: cost on solvable instances.
+ANNEAL_STEPS_PER_NODE = 60
+
+
+def heuristic_opt(
+    positions,
+    *,
+    unit: float = 1.0,
+    config: OptConfig | None = None,
+) -> tuple[int, Topology]:
+    """Best-effort minimum-interference topology (certified upper bound).
+
+    Returns ``(value, topology)`` where ``topology`` is a connected
+    subgraph of the unit disk graph and ``value`` its measured
+    interference. Raises ``ValueError`` when the UDG is disconnected.
+    """
+    from repro.model.udg import unit_disk_graph
+
+    pos = check_positions(positions)
+    cfg = config or OptConfig()
+    n = pos.shape[0]
+    if n <= 1:
+        return 0, Topology(pos, ())
+    udg = unit_disk_graph(pos, unit=unit)
+    if not udg.is_connected():
+        raise ValueError("the unit disk graph is disconnected; no feasible topology")
+    with obs.span("opt.heuristic", n=n):
+        annealed = _anneal(udg, seed=cfg.seed)
+        polished = reduce_interference(udg, start=annealed, seed=cfg.seed)
+    best = min(
+        (polished, annealed),
+        key=lambda t: int(graph_interference(t)),
+    )
+    return int(graph_interference(best)), best
+
+
+def _anneal(udg: Topology, *, seed, steps: int | None = None) -> Topology:
+    """Simulated-annealing walk over spanning trees of ``udg``."""
+    pos = udg.positions
+    n = udg.n
+    tree_edges = euclidean_mst_edges(pos, candidate_edges=udg.edges)
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for u, v in tree_edges:
+        adj[u].add(int(v))
+        adj[v].add(int(u))
+    tracker = InterferenceTracker.from_topology(Topology(pos, tree_edges))
+    rng = as_generator(seed)
+    candidates = [tuple(map(int, e)) for e in udg.edges]
+    if not candidates or n <= 2:
+        return Topology(pos, tree_edges)
+
+    def scalar_objective() -> int:
+        counts = tracker.node_interference()
+        return int(counts.max()) * n * n + int(counts.sum())
+
+    def apply_edge_change(u: int, v: int, *, add: bool) -> None:
+        if add:
+            adj[u].add(v)
+            adj[v].add(u)
+        else:
+            adj[u].discard(v)
+            adj[v].discard(u)
+        for w in (u, v):
+            r = node_radius(adj, pos, w)
+            if adj[w]:
+                tracker.set_radius(w, r)
+            else:
+                tracker.deactivate(w)
+
+    current = scalar_objective()
+    best = current
+    best_edges = {tuple(sorted(e)) for e in map(tuple, tree_edges)}
+    n_steps = steps if steps is not None else ANNEAL_STEPS_PER_NODE * n
+    # geometric cooling from "accepts most moves" to "effectively greedy":
+    # t0 scales with n^2 because the flattened objective does.
+    t0 = max(1.0, 0.5 * n * n)
+    t_end = 0.01
+    cool = (t_end / t0) ** (1.0 / max(1, n_steps - 1))
+    temperature = t0
+    accepted = 0
+    for _ in range(n_steps):
+        a, b = candidates[int(rng.integers(len(candidates)))]
+        temperature *= cool
+        if b in adj[a]:
+            continue
+        path = tree_path(adj, a, b)
+        cycle = list(zip(path, path[1:]))
+        x, y = cycle[int(rng.integers(len(cycle)))]
+        apply_edge_change(a, b, add=True)
+        apply_edge_change(x, y, add=False)
+        cand = scalar_objective()
+        delta = cand - current
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            current = cand
+            accepted += 1
+            if current < best:
+                best = current
+                best_edges = {
+                    (min(u, v), max(u, v)) for u in range(n) for v in adj[u] if u < v
+                }
+        else:  # revert
+            apply_edge_change(x, y, add=True)
+            apply_edge_change(a, b, add=False)
+    obs.count("opt.anneal.proposals", n_steps)
+    obs.count("opt.anneal.accepted", accepted)
+    edges = np.array(sorted(best_edges), dtype=np.int64).reshape(-1, 2)
+    return Topology(pos, edges)

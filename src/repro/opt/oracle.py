@@ -1,0 +1,102 @@
+"""Exhaustive oracle over radius assignments — ground truth for tiny ``n``.
+
+Enumerates *every* candidate radius vector (see
+:mod:`repro.opt.candidates`) in plain index order, keeps the best
+connected one, and prunes a partial assignment only by the definitional
+monotonicity of coverage: disks never shrink as further radii are
+assigned, so once some victim is covered ``best`` times the subtree
+cannot beat the incumbent. No ordering heuristics, no forced-future
+bounds, no connectivity or symmetry reasoning — the point of this module
+is to be *obviously correct* so the branch-and-bound solver
+(:mod:`repro.opt.solver`) can be property-tested against it
+(``tests/test_opt_properties.py`` asserts equality on every randomized
+instance with ``n <= 9``).
+
+Exponential in ``n`` with no mitigation: hard-capped at
+:data:`ORACLE_MAX_NODES`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import distance_matrix
+from repro.model.topology import Topology
+from repro.opt.candidates import (
+    candidate_radii,
+    connected_under,
+    coverage_masks,
+    witness_topology,
+)
+from repro.utils import check_positions
+
+#: Hard cap on the oracle's instance size — beyond this the enumeration is
+#: hopeless (the branch-and-bound solver goes further).
+ORACLE_MAX_NODES = 10
+
+
+def exhaustive_opt(
+    positions, *, unit: float = 1.0, tolerance: float = 1e-9
+) -> tuple[int, Topology]:
+    """Optimal interference and a witness topology, by full enumeration.
+
+    Raises ``ValueError`` for ``n > ORACLE_MAX_NODES`` or when the
+    instance is not connectable within the unit range.
+    """
+    pos = check_positions(positions)
+    n = pos.shape[0]
+    if n > ORACLE_MAX_NODES:
+        raise ValueError(
+            f"exhaustive oracle limited to n <= {ORACLE_MAX_NODES}, got {n}"
+        )
+    if n <= 1:
+        return 0, Topology(pos, ())
+    dist = distance_matrix(pos)
+    cands = candidate_radii(dist, unit=unit, tolerance=tolerance)
+    if any(c.size == 0 for c in cands):
+        raise ValueError(
+            "some node cannot reach anybody within the unit range; "
+            "the instance is never connectable"
+        )
+    masks = coverage_masks(dist, cands, tolerance=tolerance)
+
+    # start from the one assignment that is always feasible: every node at
+    # its largest candidate (the unit-capped complete graph). Its coverage
+    # maximum seeds `best` so the monotone cut has a finite threshold from
+    # the first step.
+    full = np.array([c[-1] for c in cands], dtype=np.float64)
+    if not connected_under(dist, full, tolerance=tolerance):
+        raise ValueError(
+            "the unit disk graph is disconnected; no feasible topology"
+        )
+    counts_full = np.zeros(n, dtype=np.int64)
+    for u in range(n):
+        counts_full += masks[u][-1]
+    best_value = int(counts_full.max())
+    best_radii = full.copy()
+
+    counts = np.zeros(n, dtype=np.int64)
+    chosen = np.zeros(n, dtype=np.float64)
+
+    def dfs(u: int) -> None:
+        nonlocal best_value, best_radii, counts
+        if counts.max() >= best_value:
+            return  # coverage only grows: cannot strictly improve
+        if u == n:
+            if connected_under(dist, chosen, tolerance=tolerance):
+                best_value = int(counts.max())
+                best_radii = chosen.copy()
+            return
+        # descending candidate order: enumeration order does not affect
+        # the result, but starting from large (well-connected) radii finds
+        # good incumbents early, which tightens the monotone cut
+        for j in range(cands[u].size - 1, -1, -1):
+            add = masks[u][j].astype(np.int64)
+            counts += add
+            chosen[u] = cands[u][j]
+            dfs(u + 1)
+            counts -= add
+        chosen[u] = 0.0
+
+    dfs(0)
+    return best_value, witness_topology(pos, best_radii, tolerance=tolerance)

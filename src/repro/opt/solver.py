@@ -1,0 +1,387 @@
+"""Certified branch-and-bound solver for minimum-interference topologies.
+
+Search strategy
+---------------
+The optimum lives in the finite candidate-radii space of
+:mod:`repro.opt.candidates`. The solver brackets it from both sides:
+
+- **upper bound** — the seeded annealing + local-search heuristic
+  (:func:`repro.opt.heuristic.heuristic_opt`) supplies a connected witness
+  whose measured interference certifies ``OPT <= ub`` by exhibition;
+- **lower bound** — the combinatorial floor of :mod:`repro.opt.bounds`,
+  then an incremental decision search: for ``k = lb, lb + 1, ...`` a
+  depth-first search over candidate radii decides whether *any* connected
+  assignment keeps every victim's coverage at most ``k``. Each exhausted
+  ``k`` raises the proven bound by one; the first feasible ``k`` *is* the
+  optimum (everything below was refuted).
+
+The decision search prunes with four admissible rules, each counted in
+:mod:`repro.obs`:
+
+- **coverage** — disks only grow as radii are assigned; a victim already
+  past ``k`` kills the subtree (``opt.prune.coverage``);
+- **forced future** — every unassigned node must take at least its
+  nearest-neighbour distance, so its minimal disk is added before
+  descending (``opt.prune.forced``);
+- **optimistic connectivity** — with assigned radii fixed and unassigned
+  radii at their maximum candidate, the admissible edge set is the union
+  of all completions; if even that graph is disconnected, no completion
+  connects (``opt.prune.connectivity``);
+- **isolation / symmetry** — an assigned node that can no longer acquire
+  any partner is dead (``opt.prune.isolation``); coincident nodes are
+  interchangeable, so their radii are forced non-decreasing in search
+  order (``opt.prune.symmetry``).
+
+Budgets (:class:`repro.opt.OptConfig`) make the solver *anytime*: on
+exhaustion it returns the best certified bracket instead of raising, with
+``status="budget"`` and ``lower_bound`` equal to the last fully refuted
+target plus one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.geometry.points import distance_matrix
+from repro.graphs.unionfind import DisjointSet
+from repro.interference.receiver import graph_interference
+from repro.model.topology import Topology
+from repro.opt.bounds import combinatorial_lower_bound
+from repro.opt.candidates import candidate_radii, coverage_masks, maximal_edges
+from repro.opt.certificate import Certificate, instance_digest
+from repro.opt.config import OptConfig
+from repro.opt.heuristic import heuristic_opt
+from repro.utils import check_positions
+
+#: Hard cap on the exact search's instance size. Beyond this, use the
+#: heuristic + combinatorial bounds bracket (``repro opt`` does this
+#: automatically via budgets).
+SOLVER_MAX_NODES = 24
+
+#: How many node expansions between wall-clock budget checks.
+_TIME_CHECK_MASK = 0xFF
+
+
+class _BudgetExhausted(Exception):
+    pass
+
+
+class _Budget:
+    """Shared node/time budget across all decision searches of one solve."""
+
+    __slots__ = ("node_budget", "deadline", "expanded")
+
+    def __init__(self, cfg: OptConfig):
+        self.node_budget = cfg.node_budget
+        self.deadline = (
+            time.perf_counter() + cfg.time_budget_s
+            if cfg.time_budget_s is not None
+            else None
+        )
+        self.expanded = 0
+
+    def tick(self) -> None:
+        self.expanded += 1
+        if self.node_budget is not None and self.expanded > self.node_budget:
+            raise _BudgetExhausted
+        if (
+            self.deadline is not None
+            and (self.expanded & _TIME_CHECK_MASK) == 0
+            and time.perf_counter() > self.deadline
+        ):
+            raise _BudgetExhausted
+
+
+@dataclass(frozen=True)
+class OptOutcome:
+    """Result of :func:`solve_opt`: a certified bracket and its witness.
+
+    ``status`` is ``"optimal"`` (``lower_bound == value == OPT``) or
+    ``"budget"`` (search interrupted; ``lower_bound <= OPT <= value``
+    still holds and is certified).
+    """
+
+    value: int
+    lower_bound: int
+    status: str
+    topology: Topology
+    certificate: Certificate
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def exact(self) -> bool:
+        return self.lower_bound == self.value
+
+
+def _canonical_witness(pos, dist, radii, tolerance):
+    """Shrink a radius vector to the fixpoint of 'maximal edges -> derived
+    radii' so certificates always store ``edges == E(r)`` with stable
+    radii. Interference never increases along the way."""
+    r = np.asarray(radii, dtype=np.float64).copy()
+    while True:
+        topo = Topology(pos, maximal_edges(dist, r, tolerance=tolerance))
+        r2 = np.asarray(topo.radii, dtype=np.float64)
+        if np.array_equal(r2, r):
+            return topo, r
+        r = r2
+
+
+def solve_opt(
+    positions,
+    *,
+    unit: float = 1.0,
+    config: OptConfig | None = None,
+) -> OptOutcome:
+    """Certified minimum-interference topology over ``positions``.
+
+    Raises ``ValueError`` for unconnectable instances or ``n``
+    beyond :data:`SOLVER_MAX_NODES`.
+    """
+    pos = check_positions(positions)
+    cfg = config or OptConfig()
+    n = pos.shape[0]
+    if n > SOLVER_MAX_NODES:
+        raise ValueError(
+            f"exact search limited to n <= {SOLVER_MAX_NODES}, got {n}; "
+            "use heuristic_opt + combinatorial_lower_bound for a bracket"
+        )
+    if n <= 1:
+        topo = Topology(pos, ())
+        cert = Certificate(
+            value=0,
+            lower_bound=0,
+            lower_bound_method="combinatorial",
+            radii=tuple(0.0 for _ in range(n)),
+            edges=(),
+            unit=unit,
+            digest=instance_digest(pos, unit=unit),
+            stats={},
+        )
+        return OptOutcome(0, 0, "optimal", topo, cert, {"nodes_expanded": 0})
+
+    tol = cfg.tolerance
+    dist = distance_matrix(pos)
+    stats: dict[str, int | float] = {
+        "nodes_expanded": 0,
+        "prune_coverage": 0,
+        "prune_forced": 0,
+        "prune_connectivity": 0,
+        "prune_isolation": 0,
+        "prune_symmetry": 0,
+        "bound_improvements": 0,
+        "searches": 0,
+    }
+    t_start = time.perf_counter()
+    with obs.span("opt.solve", n=n) as sp:
+        lb0 = combinatorial_lower_bound(pos, unit=unit, tolerance=tol)
+        ub, _heur_topo = heuristic_opt(pos, unit=unit, config=cfg)
+        stats["heuristic_value"] = ub
+        stats["combinatorial_lb"] = lb0
+        # the heuristic witness, in canonical maximal-E(r) form (radii and
+        # measured interference are unchanged: tree edges survive in E(r))
+        witness_topo, witness_radii = _canonical_witness(
+            pos, dist, _heur_topo.radii, tol
+        )
+
+        proven_lb = lb0
+        status = "optimal"
+        budget = _Budget(cfg)
+        search = _DecisionSearch(pos, dist, unit=unit, tolerance=tol, stats=stats)
+        try:
+            k = lb0
+            while k < ub:
+                stats["searches"] += 1
+                with obs.span("opt.search", k=k):
+                    found = search.feasible(k, budget)
+                if found is None:
+                    proven_lb = k + 1
+                    stats["bound_improvements"] += 1
+                    obs.count("opt.bound.improvements")
+                    k += 1
+                else:
+                    witness_topo, witness_radii = _canonical_witness(
+                        pos, dist, found, tol
+                    )
+                    ub = int(graph_interference(witness_topo))
+                    break
+            # loop invariant: entering iteration k means proven_lb == k, so
+            # a found witness (measuring k) and a completed loop (last
+            # refute at ub - 1) both land on proven_lb == ub == OPT
+        except _BudgetExhausted:
+            status = "budget"
+        proven_lb = min(proven_lb, ub)
+        stats["nodes_expanded"] = budget.expanded
+        obs.count("opt.nodes.expanded", budget.expanded)
+        stats["wall_s"] = time.perf_counter() - t_start
+        sp.set(status=status, value=int(ub), lower_bound=int(proven_lb))
+
+    method = "search" if proven_lb > lb0 else "combinatorial"
+    cert = Certificate(
+        value=int(ub),
+        lower_bound=int(proven_lb),
+        lower_bound_method=method,
+        radii=tuple(float(r) for r in witness_radii),
+        edges=tuple((int(u), int(v)) for u, v in witness_topo.edges),
+        unit=float(unit),
+        digest=instance_digest(pos, unit=unit),
+        stats={k: v for k, v in stats.items()},
+    )
+    return OptOutcome(
+        value=int(ub),
+        lower_bound=int(proven_lb),
+        status=status,
+        topology=witness_topo,
+        certificate=cert,
+        stats=stats,
+    )
+
+
+class _DecisionSearch:
+    """Reusable decision procedure: is some connected assignment with
+    coverage at most ``k`` reachable? Nodes are searched most-constrained
+    first (largest forced disk), which triggers the coverage prunings as
+    early as possible."""
+
+    def __init__(self, pos, dist, *, unit, tolerance, stats):
+        self.n = pos.shape[0]
+        self.unit = unit
+        self.tol = tolerance
+        self.stats = stats
+        cands_orig = candidate_radii(dist, unit=unit, tolerance=tolerance)
+        if any(c.size == 0 for c in cands_orig):
+            raise ValueError(
+                "some node cannot reach anybody within the unit range; "
+                "the instance is never connectable"
+            )
+        forced_size = np.array([c[0] for c in cands_orig], dtype=np.float64)
+        self.order = np.argsort(-forced_size, kind="stable")
+        self.pos = pos[self.order]
+        self.dist = dist[np.ix_(self.order, self.order)]
+        self.cands = candidate_radii(self.dist, unit=unit, tolerance=tolerance)
+        bool_masks = coverage_masks(self.dist, self.cands, tolerance=tolerance)
+        # int64 copies so the hot loop adds without per-expansion casts
+        self.masks = [m.astype(np.int64) for m in bool_masks]
+        n = self.n
+        forced = np.array([self.masks[u][0] for u in range(n)], dtype=np.int64)
+        self.forced_suffix = np.zeros((n + 1, n), dtype=np.int64)
+        for u in range(n - 1, -1, -1):
+            self.forced_suffix[u] = self.forced_suffix[u + 1] + forced[u]
+        self.max_cand = np.array([c[-1] for c in self.cands], dtype=np.float64)
+        # coincident-node symmetry: identical positions are interchangeable
+        self.same_as_prev = np.zeros(n, dtype=bool)
+        for u in range(1, n):
+            self.same_as_prev[u] = bool(
+                np.all(self.pos[u] == self.pos[u - 1])
+            )
+
+    def feasible(self, k: int, budget: _Budget) -> np.ndarray | None:
+        """Radius vector (original node order) with coverage <= ``k`` and
+        ``E(r)`` connected, or ``None`` if no such assignment exists."""
+        n = self.n
+        counts = np.zeros(n, dtype=np.int64)
+        chosen = np.zeros(n, dtype=np.float64)
+        tol = 1.0 + self.tol
+        dist = self.dist
+        cands = self.cands
+        masks = self.masks
+        stats = self.stats
+
+        def admits_partner(v: int, u_done: int) -> bool:
+            rv = chosen[v] * tol
+            for w in range(n):
+                if w == v or dist[v, w] > rv:
+                    continue
+                if w > u_done or chosen[w] * tol >= dist[v, w]:
+                    return True
+            return False
+
+        def isolation_ok(u_done: int) -> bool:
+            # every assigned node must still admit >= 1 partner: a node
+            # whose disk reaches nobody willing can never get an edge
+            if not admits_partner(u_done, u_done):
+                return False
+            ru = chosen[u_done] * tol
+            for v in range(u_done):
+                if dist[v, u_done] <= chosen[v] * tol and ru < dist[v, u_done]:
+                    if not admits_partner(v, u_done):
+                        return False
+            return True
+
+        idx = np.arange(n)
+
+        def optimistic_connected(u_done: int) -> bool:
+            # assigned nodes at their chosen radii, unassigned at their
+            # largest candidate: the superset of every completion's E(r);
+            # connectivity via vectorized BFS over the boolean adjacency
+            r_opt = np.where(idx <= u_done, chosen, self.max_cand) * tol
+            adj = dist <= np.minimum(r_opt[:, None], r_opt[None, :])
+            visited = adj[0].copy()
+            visited[0] = True
+            frontier = visited
+            while True:
+                nxt = adj[frontier].any(axis=0) & ~visited
+                if not nxt.any():
+                    return bool(visited.all())
+                visited = visited | nxt
+                frontier = nxt
+
+        def connected_exact() -> bool:
+            ds = DisjointSet(n)
+            for a in range(n):
+                ra = chosen[a] * tol
+                for b in range(a + 1, n):
+                    if dist[a, b] <= min(ra, chosen[b] * tol):
+                        ds.union(a, b)
+                        if ds.n_components == 1:
+                            return True
+            return ds.n_components == 1
+
+        def dfs(u: int) -> bool:
+            if u == n:
+                return connected_exact()
+            budget.tick()
+            if (counts + self.forced_suffix[u] > k).any():
+                stats["prune_forced"] += 1
+                obs.count("opt.prune.forced")
+                return False
+            floor = 0.0
+            if self.same_as_prev[u]:
+                floor = chosen[u - 1]
+            for j in range(cands[u].size):
+                if cands[u][j] < floor:
+                    stats["prune_symmetry"] += 1
+                    obs.count("opt.prune.symmetry")
+                    continue
+                add = masks[u][j].astype(np.int64)
+                counts_new = counts + add
+                if counts_new.max() > k:
+                    # larger candidates cover supersets: all further j fail
+                    stats["prune_coverage"] += 1
+                    obs.count("opt.prune.coverage")
+                    break
+                counts[:] = counts_new
+                chosen[u] = cands[u][j]
+                ok = True
+                if not isolation_ok(u):
+                    stats["prune_isolation"] += 1
+                    obs.count("opt.prune.isolation")
+                    ok = False
+                elif cands[u][j] < self.max_cand[u] and not optimistic_connected(u):
+                    stats["prune_connectivity"] += 1
+                    obs.count("opt.prune.connectivity")
+                    ok = False
+                if ok and dfs(u + 1):
+                    return True
+                counts[:] = counts_new - add
+            chosen[u] = 0.0
+            return False
+
+        if dfs(0):
+            out = np.zeros(n, dtype=np.float64)
+            out[self.order] = chosen
+            return out
+        return None

@@ -9,8 +9,10 @@ receiver-centric interference on the two-exponential-chains instance.
 from repro.topologies.base import (
     ALGORITHMS,
     HIGHWAY_ALGORITHMS,
+    OPTIMIZERS,
     build,
     is_highway,
+    is_optimizer,
     registered_names,
 )
 from repro.topologies.nnf import nearest_neighbor_forest
@@ -31,12 +33,15 @@ from repro.topologies.constructions import (
     two_chains_optimal_tree,
 )
 import repro.topologies.highway  # noqa: F401  (registers the highway section)
+import repro.topologies.optimizers  # noqa: F401  (registers the optimizer section)
 
 __all__ = [
     "ALGORITHMS",
     "HIGHWAY_ALGORITHMS",
+    "OPTIMIZERS",
     "build",
     "is_highway",
+    "is_optimizer",
     "registered_names",
     "nearest_neighbor_forest",
     "euclidean_mst",

@@ -5,7 +5,7 @@ Each registered algorithm maps the input unit disk graph
 set. The registry gives the survey experiment and CLI a uniform way to
 enumerate baselines.
 
-Two sections share one namespace (names are unique across both):
+Three sections share one namespace (names are unique across all three):
 
 - :data:`ALGORITHMS` — the classical baselines of Section 4. Contract:
   the output is a subgraph of the input UDG (this is what the survey
@@ -18,6 +18,14 @@ Two sections share one namespace (names are unique across both):
   ``build("a_exp", udg)`` works exactly like ``build("emst", udg)``.
   The direct functions in :mod:`repro.highway` remain the documented
   thin entry points for positions-based callers.
+- :data:`OPTIMIZERS` — search-based minimizers from :mod:`repro.opt`
+  and :mod:`repro.extensions.local_search` (exact branch-and-bound,
+  annealing, hill-climbing). Contract: the output is a *connected*
+  subgraph of the input UDG, but unlike the baselines the result is
+  not a fixed geometric construction — it depends on a search (seeded,
+  so still deterministic per input) and may take orders of magnitude
+  longer. They therefore stay out of the baseline iteration too, while
+  :func:`build`/:func:`registered_names` resolve them uniformly.
 """
 
 from __future__ import annotations
@@ -34,27 +42,36 @@ ALGORITHMS: dict[str, AlgorithmFn] = {}
 #: name -> highway construction adapter (positions-based; see module doc)
 HIGHWAY_ALGORITHMS: dict[str, AlgorithmFn] = {}
 
+#: name -> search-based minimizer adapter (see module doc)
+OPTIMIZERS: dict[str, AlgorithmFn] = {}
 
-def register(name: str, *, highway: bool = False):
+
+def register(name: str, *, highway: bool = False, optimizer: bool = False):
     """Decorator registering a default-configured algorithm under ``name``.
 
-    ``highway=True`` registers into :data:`HIGHWAY_ALGORITHMS` instead of
-    :data:`ALGORITHMS`; either way the name must be unique across both
-    sections so :func:`build` stays unambiguous.
+    ``highway=True`` registers into :data:`HIGHWAY_ALGORITHMS`,
+    ``optimizer=True`` into :data:`OPTIMIZERS` (at most one flag); either
+    way the name must be unique across all three sections so
+    :func:`build` stays unambiguous.
     """
+    if highway and optimizer:
+        raise ValueError("an algorithm belongs to exactly one registry section")
 
     def deco(fn: AlgorithmFn) -> AlgorithmFn:
-        if name in ALGORITHMS or name in HIGHWAY_ALGORITHMS:
+        if name in ALGORITHMS or name in HIGHWAY_ALGORITHMS or name in OPTIMIZERS:
             raise ValueError(f"algorithm {name!r} already registered")
-        (HIGHWAY_ALGORITHMS if highway else ALGORITHMS)[name] = fn
+        section = (
+            HIGHWAY_ALGORITHMS if highway else OPTIMIZERS if optimizer else ALGORITHMS
+        )
+        section[name] = fn
         return fn
 
     return deco
 
 
 def registered_names() -> tuple[str, ...]:
-    """All buildable names (baselines + highway constructions), sorted."""
-    return tuple(sorted({**ALGORITHMS, **HIGHWAY_ALGORITHMS}))
+    """All buildable names (all three sections), sorted."""
+    return tuple(sorted({**ALGORITHMS, **HIGHWAY_ALGORITHMS, **OPTIMIZERS}))
 
 
 def is_highway(name: str) -> bool:
@@ -62,11 +79,18 @@ def is_highway(name: str) -> bool:
     return name in HIGHWAY_ALGORITHMS
 
 
+def is_optimizer(name: str) -> bool:
+    """True iff ``name`` is a registered search-based minimizer."""
+    return name in OPTIMIZERS
+
+
 def build(name: str, udg: Topology, **kwargs) -> Topology:
-    """Run registered algorithm ``name`` on ``udg`` (either section)."""
+    """Run registered algorithm ``name`` on ``udg`` (any section)."""
     fn = ALGORITHMS.get(name)
     if fn is None:
         fn = HIGHWAY_ALGORITHMS.get(name)
+    if fn is None:
+        fn = OPTIMIZERS.get(name)
     if fn is None:
         raise KeyError(
             f"unknown algorithm {name!r}; known: {list(registered_names())}"

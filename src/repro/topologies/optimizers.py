@@ -1,0 +1,57 @@
+"""Registry adapters for the search-based minimizers (the ``repro.opt``
+subsystem and the local-search extension).
+
+These lift the optimization entry points to the registry's
+``Topology -> Topology`` convention so ``build("opt_local", udg)`` works
+uniformly alongside the Section 4 baselines. All three return a
+*connected* subgraph of the input UDG, found by search rather than by a
+fixed geometric rule:
+
+- ``opt_exact`` — the certified branch-and-bound witness
+  (:func:`repro.opt.solve_opt`). Pass ``config=OptConfig(...)`` to
+  budget the search; without a budget it is exponential and only
+  practical for small instances (see ``SOLVER_MAX_NODES``). The returned
+  topology's measured interference equals the certificate value (a
+  proven optimum when the search finished, a certified upper bound
+  otherwise); use :func:`repro.opt.solve_opt` directly when you need the
+  certificate itself.
+- ``opt_anneal`` — simulated annealing over spanning trees plus the
+  final hill-climb (:func:`repro.opt.heuristic_opt`).
+- ``opt_local`` — the deterministic edge-swap hill-climb alone
+  (:func:`repro.extensions.local_search.reduce_interference`).
+
+All are seeded (``seed=``/``config=``) and deterministic per input.
+"""
+
+from __future__ import annotations
+
+from repro.extensions.local_search import reduce_interference
+from repro.model.topology import Topology
+from repro.opt.config import OptConfig
+from repro.opt.heuristic import heuristic_opt
+from repro.opt.solver import solve_opt
+from repro.topologies.base import register
+
+
+@register("opt_exact", optimizer=True)
+def opt_exact_adapter(
+    udg: Topology, *, unit: float = 1.0, config: OptConfig | None = None
+) -> Topology:
+    """Witness topology of the certified solver (optimal when it finishes)."""
+    outcome = solve_opt(udg.positions, unit=unit, config=config)
+    return outcome.topology
+
+
+@register("opt_anneal", optimizer=True)
+def opt_anneal_adapter(
+    udg: Topology, *, unit: float = 1.0, config: OptConfig | None = None
+) -> Topology:
+    """Annealed + hill-climbed upper-bound topology."""
+    _, topo = heuristic_opt(udg.positions, unit=unit, config=config)
+    return topo
+
+
+@register("opt_local", optimizer=True)
+def opt_local_adapter(udg: Topology, **kwargs) -> Topology:
+    """Deterministic interference hill-climb over spanning trees of ``udg``."""
+    return reduce_interference(udg, **kwargs)

@@ -58,6 +58,42 @@ class TestCli:
         assert payload["experiment_id"] == "churn_resilience"
         assert all(entry["match"] for entry in payload["data"]["loss"])
 
+    def test_opt_subcommand(self, capsys, tmp_path):
+        out_json = tmp_path / "opt.json"
+        assert (
+            main(
+                [
+                    "opt",
+                    "exp_chain",
+                    "--n",
+                    "8",
+                    "--seed",
+                    "0",
+                    "--json",
+                    str(out_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "opt: exp_chain n=8" in out
+        assert "OPT = 4" in out and "proven optimal" in out
+        assert "certificate: VERIFIED" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["value"] == 4 and payload["lower_bound"] == 4
+        assert payload["status"] == "optimal"
+        assert payload["certificate"]["digest"]
+
+    def test_opt_budgeted_bracket(self, capsys):
+        assert main(["opt", "exp_chain", "--n", "14", "--node-budget", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "<= OPT <=" in out and "certified bracket" in out
+        assert "certificate: VERIFIED" in out
+
+    def test_opt_unknown_instance(self):
+        with pytest.raises(SystemExit):
+            main(["opt", "bogus_family"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -175,6 +175,28 @@ class TestClaims:
         assert all(e["match"] for e in r.data["loss"])
         assert all(e["overhead"] > 1.0 for e in r.data["loss"])
 
+    def test_opt_gap(self):
+        r = experiments.run(
+            "opt_gap",
+            exp_ns=(7,),
+            two_chain_ms=(3,),
+            random_ns=(7,),
+            node_budget=20_000,
+        )
+        # small instances solve to proven optimality
+        assert all(r.data["exact"])
+        assert all(lb == ub for lb, ub in zip(r.data["opt_lb"], r.data["opt_ub"]))
+        # no *connected* construction beats the certified optimum (the
+        # NNF is a forest, so its interference may dip below OPT)
+        for key in ("xtc", "a_exp", "a_apx"):
+            assert all(
+                v >= ub
+                for v, ub in zip(r.data[key], r.data["opt_ub"])
+                if v is not None
+            )
+        # A_exp is optimal on the small exponential chain (Theorem 5.1)
+        assert r.data["a_exp"][0] == r.data["opt_ub"][0]
+
     def test_ablation_spacing(self):
         r = experiments.run("ablation_agen_spacing")
         exp_values = r.data["exp chain n=256"]

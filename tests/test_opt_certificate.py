@@ -1,0 +1,153 @@
+"""Certificates: verification, tamper rejection, JSON round-trip,
+certify_topology wrapping."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import exponential_chain, uniform_chain
+from repro.highway.a_exp import a_exp
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.opt import (
+    Certificate,
+    CertificateError,
+    certify_topology,
+    instance_digest,
+    solve_opt,
+    verify_certificate,
+)
+
+
+@pytest.fixture(scope="module")
+def exp8_solved():
+    pos = exponential_chain(8)
+    return pos, solve_opt(pos)
+
+
+def _tampered(cert: Certificate, **overrides) -> Certificate:
+    return dataclasses.replace(cert, **overrides)
+
+
+class TestVerification:
+    def test_solver_certificate_verifies(self, exp8_solved):
+        pos, outcome = exp8_solved
+        assert verify_certificate(pos, outcome.certificate) is True
+
+    def test_wrong_value_rejected(self, exp8_solved):
+        pos, outcome = exp8_solved
+        bad = _tampered(outcome.certificate, value=outcome.value + 1,
+                        lower_bound=outcome.value + 1)
+        with pytest.raises(CertificateError, match="measures interference"):
+            verify_certificate(pos, bad)
+
+    def test_lower_bound_above_value_rejected(self, exp8_solved):
+        pos, outcome = exp8_solved
+        bad = _tampered(outcome.certificate, lower_bound=outcome.value + 3)
+        with pytest.raises(CertificateError, match="inconsistent bracket"):
+            verify_certificate(pos, bad)
+
+    def test_inflated_search_bound_rejected(self, exp8_solved):
+        """The independent enumeration catches an overclaimed search bound:
+        claiming lb = value on a weaker witness would certify a fake
+        optimum."""
+        pos, outcome = exp8_solved
+        # wrap a suboptimal witness (the linear chain is worse than OPT on
+        # the exponential chain), then overclaim its value as a search bound
+        from repro.highway.linear import linear_chain
+
+        weak = certify_topology(pos, linear_chain(pos))
+        assert weak.value > outcome.value
+        bad = _tampered(weak, lower_bound=weak.value,
+                        lower_bound_method="search")
+        with pytest.raises(CertificateError, match="independent enumeration"):
+            verify_certificate(pos, bad)
+
+    def test_digest_binds_instance(self, exp8_solved):
+        pos, outcome = exp8_solved
+        other = uniform_chain(8, spacing=0.1)
+        with pytest.raises(CertificateError, match="digest"):
+            verify_certificate(other, outcome.certificate)
+
+    def test_perturbed_positions_change_digest(self):
+        pos = exponential_chain(6)
+        nudged = pos.copy()
+        nudged[2, 0] += 1e-6
+        assert instance_digest(pos) != instance_digest(nudged)
+
+    def test_non_candidate_radius_rejected(self, exp8_solved):
+        pos, outcome = exp8_solved
+        radii = list(outcome.certificate.radii)
+        radii[0] = radii[0] * 1.01  # no longer an inter-node distance
+        bad = _tampered(outcome.certificate, radii=tuple(radii))
+        with pytest.raises(CertificateError, match="not a candidate"):
+            verify_certificate(pos, bad)
+
+    def test_missing_edge_rejected(self, exp8_solved):
+        pos, outcome = exp8_solved
+        bad = _tampered(outcome.certificate,
+                        edges=outcome.certificate.edges[:-1])
+        with pytest.raises(CertificateError, match="maximal admissible"):
+            verify_certificate(pos, bad)
+
+    def test_unknown_method_rejected(self, exp8_solved):
+        pos, outcome = exp8_solved
+        bad = _tampered(outcome.certificate, lower_bound_method="vibes")
+        with pytest.raises(CertificateError, match="unknown lower_bound_method"):
+            verify_certificate(pos, bad)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_certificate(self, exp8_solved):
+        pos, outcome = exp8_solved
+        cert = outcome.certificate
+        back = Certificate.from_jsonable(cert.to_jsonable())
+        assert back == cert
+        assert verify_certificate(pos, back)
+
+    def test_jsonable_is_json_serializable(self, exp8_solved):
+        import json
+
+        _, outcome = exp8_solved
+        text = json.dumps(outcome.certificate.to_jsonable())
+        assert json.loads(text)["value"] == outcome.value
+
+
+class TestCertifyTopology:
+    def test_wraps_heuristic_witness(self):
+        pos = exponential_chain(20)
+        cert = certify_topology(pos, a_exp(pos))
+        assert verify_certificate(pos, cert)
+        assert cert.lower_bound_method == "combinatorial"
+        assert cert.lower_bound >= 1
+
+    def test_value_matches_witness_interference(self):
+        pos = exponential_chain(16)
+        topo = a_exp(pos)
+        cert = certify_topology(pos, topo)
+        # maximal E(r) completion preserves the per-node radii, so the
+        # certified value is exactly the witness's measured interference
+        assert cert.value == int(graph_interference(topo))
+
+    def test_rejects_disconnected_witness(self):
+        pos = exponential_chain(8)
+        from repro.model.topology import Topology
+
+        forest = Topology(pos, np.array([[0, 1], [2, 3]]))
+        with pytest.raises(ValueError, match="disconnected"):
+            certify_topology(pos, forest)
+
+    def test_rejects_edges_beyond_unit(self):
+        pos = uniform_chain(5, spacing=0.4)
+        udg = unit_disk_graph(pos, unit=2.0)  # edges up to length 1.6
+        with pytest.raises(ValueError, match="unit range"):
+            certify_topology(pos, udg, unit=1.0)
+
+    def test_trivial_instances(self):
+        from repro.model.topology import Topology
+
+        pos = np.zeros((1, 2))
+        cert = certify_topology(pos, Topology(pos, ()))
+        assert cert.value == 0 and cert.lower_bound == 0
+        assert verify_certificate(pos, cert)

@@ -1,0 +1,55 @@
+"""OptConfig: frozen, keyword-only, validating — typos cannot pass silently."""
+
+import dataclasses
+
+import pytest
+
+from repro.opt import OptConfig
+
+
+class TestOptConfig:
+    def test_defaults(self):
+        cfg = OptConfig()
+        assert cfg.time_budget_s is None
+        assert cfg.node_budget is None
+        assert cfg.seed == 0
+        assert cfg.tolerance > 0
+
+    def test_frozen(self):
+        cfg = OptConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.seed = 7
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            OptConfig(1.0)
+
+    def test_misspelled_kwarg_raises_typeerror(self):
+        with pytest.raises(TypeError, match="node_bugdet"):
+            OptConfig(node_bugdet=100)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"time_budget_s": 0.0},
+            {"time_budget_s": -1.0},
+            {"node_budget": 0},
+            {"node_budget": -5},
+            {"tolerance": -1e-12},
+            {"tolerance": 1e-2},
+        ],
+    )
+    def test_invalid_values_raise_valueerror(self, kwargs):
+        with pytest.raises(ValueError):
+            OptConfig(**kwargs)
+
+    def test_valid_budgets_accepted(self):
+        cfg = OptConfig(time_budget_s=0.5, node_budget=10, seed=None)
+        assert cfg.time_budget_s == 0.5
+        assert cfg.node_budget == 10
+        assert cfg.seed is None
+
+    def test_equality_and_hash(self):
+        assert OptConfig(seed=1) == OptConfig(seed=1)
+        assert OptConfig(seed=1) != OptConfig(seed=2)
+        assert hash(OptConfig(seed=1)) == hash(OptConfig(seed=1))

@@ -1,4 +1,4 @@
-"""Registry round-trip over both sections, and interference kwarg validation."""
+"""Registry round-trip over all three sections, and interference kwarg validation."""
 
 import numpy as np
 import pytest
@@ -14,8 +14,10 @@ from repro.model.udg import unit_disk_graph
 from repro.topologies import (
     ALGORITHMS,
     HIGHWAY_ALGORITHMS,
+    OPTIMIZERS,
     build,
     is_highway,
+    is_optimizer,
     registered_names,
 )
 
@@ -30,17 +32,29 @@ class TestRegistrySections:
     def test_highway_algorithms_registered(self):
         assert set(HIGHWAY_ALGORITHMS) == {"a_exp", "a_gen", "a_apx", "linear_chain"}
 
-    def test_sections_are_disjoint(self):
+    def test_optimizers_registered(self):
+        assert set(OPTIMIZERS) == {"opt_exact", "opt_anneal", "opt_local"}
+
+    def test_sections_are_pairwise_disjoint(self):
         assert not set(ALGORITHMS) & set(HIGHWAY_ALGORITHMS)
+        assert not set(ALGORITHMS) & set(OPTIMIZERS)
+        assert not set(HIGHWAY_ALGORITHMS) & set(OPTIMIZERS)
 
     def test_registered_names_is_sorted_union(self):
         names = registered_names()
         assert list(names) == sorted(names)
-        assert set(names) == set(ALGORITHMS) | set(HIGHWAY_ALGORITHMS)
+        assert set(names) == (
+            set(ALGORITHMS) | set(HIGHWAY_ALGORITHMS) | set(OPTIMIZERS)
+        )
 
     def test_is_highway(self):
         assert is_highway("a_exp") and is_highway("linear_chain")
         assert not is_highway("emst") and not is_highway("bogus")
+
+    def test_is_optimizer(self):
+        assert is_optimizer("opt_exact") and is_optimizer("opt_local")
+        assert not is_optimizer("a_exp") and not is_optimizer("emst")
+        assert not is_optimizer("bogus")
 
     def test_unknown_name_raises_with_known_list(self, udg32):
         with pytest.raises(KeyError, match="a_exp"):
@@ -53,11 +67,26 @@ class TestRegistrySections:
             register("emst")(lambda udg: udg)
         with pytest.raises(ValueError, match="already registered"):
             register("a_exp", highway=True)(lambda udg: udg)
+        with pytest.raises(ValueError, match="already registered"):
+            register("opt_local", optimizer=True)(lambda udg: udg)
+        # cross-section collisions are rejected too
+        with pytest.raises(ValueError, match="already registered"):
+            register("emst", optimizer=True)(lambda udg: udg)
+
+    def test_register_rejects_two_section_flags(self):
+        from repro.topologies.base import register
+
+        with pytest.raises(ValueError, match="exactly one"):
+            register("impossible", highway=True, optimizer=True)
 
 
-@pytest.mark.parametrize("name", sorted(registered_names()))
+# optimizers run a search (opt_exact is exponential without a budget), so
+# they get their own contract class on a smaller instance below
+@pytest.mark.parametrize(
+    "name", sorted(set(registered_names()) - set(OPTIMIZERS))
+)
 class TestRegistryRoundTrip:
-    """Every registered name builds on a 32-node instance."""
+    """Every non-optimizer registered name builds on a 32-node instance."""
 
     def test_builds_symmetric_topology(self, name, udg32):
         out = build(name, udg32)
@@ -95,6 +124,47 @@ class TestHighwayAdapters:
         from repro.highway import a_exp
 
         assert build("a_exp", udg32) == a_exp(udg32.positions)
+
+
+class TestOptimizerAdapters:
+    """The OPTIMIZERS section: connected UDG-subgraph results, uniform
+    build() resolution, kwarg forwarding into the solver config."""
+
+    @pytest.fixture(scope="class")
+    def udg12(self):
+        pos = random_udg_connected(12, side=1.5, seed=5)
+        return unit_disk_graph(pos, unit=1.0)
+
+    @pytest.mark.parametrize("name", sorted(OPTIMIZERS))
+    def test_builds_connected_udg_subgraph(self, name, udg12):
+        from repro.opt import OptConfig
+
+        kwargs = (
+            {"config": OptConfig(node_budget=2000)}
+            if name in ("opt_exact", "opt_anneal")
+            else {}
+        )
+        out = build(name, udg12, **kwargs)
+        assert isinstance(out, Topology)
+        assert out.n == udg12.n
+        assert out.is_connected()
+        # optimizer outputs stay inside the unit disk graph
+        for u, v in out.edges:
+            assert udg12.has_edge(int(u), int(v))
+
+    def test_opt_local_is_deterministic(self, udg12):
+        a = build("opt_local", udg12, seed=3)
+        b = build("opt_local", udg12, seed=3)
+        assert a == b
+
+    def test_opt_exact_matches_direct_solver(self, udg12):
+        from repro.interference.receiver import graph_interference
+        from repro.opt import OptConfig, solve_opt
+
+        cfg = OptConfig(node_budget=2000)
+        via_registry = build("opt_exact", udg12, config=cfg)
+        direct = solve_opt(udg12.positions, config=cfg)
+        assert int(graph_interference(via_registry)) == direct.value
 
 
 class TestInterferenceKwargValidation:
