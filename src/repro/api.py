@@ -99,9 +99,19 @@ from repro.runner import (
     SweepOutcome,
     SweepTask,
     TaskRecord,
+    TaskTimeout,
     derive_seeds,
     expand_grid,
     run_sweep,
+)
+from repro.serve import (
+    InterferenceServer,
+    LoadGenConfig,
+    LoadGenReport,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    run_loadgen,
 )
 from repro.topologies import (
     ALGORITHMS,
@@ -187,9 +197,18 @@ __all__ = [
     "SweepOutcome",
     "SweepTask",
     "TaskRecord",
+    "TaskTimeout",
     "derive_seeds",
     "expand_grid",
     "run_sweep",
+    # serving layer
+    "InterferenceServer",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "run_loadgen",
     # observability
     "obs",
 ]

@@ -120,6 +120,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "SeedSequence(base_seed).spawn(K)",
     )
     sweep.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget; expired tasks are recorded as "
+        "status=timeout in the manifest (pool mode terminates the stuck "
+        "worker) instead of hanging the sweep",
+    )
+    sweep.add_argument(
         "--base-seed", type=int, default=0, help="root seed for --seeds derivation"
     )
     sweep.add_argument(
@@ -195,6 +201,104 @@ def _build_parser() -> argparse.ArgumentParser:
     opt.add_argument(
         "--json", type=Path, default=None,
         help="also write the outcome + certificate as JSON",
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio interference service (JSON over TCP; see "
+        "docs/SERVING.md) until interrupted",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7421,
+        help="bind port; 0 picks an ephemeral port (printed on startup)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker processes"
+    )
+    serve.add_argument(
+        "--executor", choices=("process", "thread"), default="process",
+        help="worker pool flavour (thread: cheap startup, tests/tiny loads)",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=32,
+        help="micro-batch size cap (1 disables coalescing)",
+    )
+    serve.add_argument(
+        "--linger-ms", type=float, default=2.0,
+        help="max wait for a batch to fill, from the oldest queued request",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="admission bound; excess requests get explicit 'overloaded'",
+    )
+    serve.add_argument(
+        "--default-deadline-ms", type=float, default=None,
+        help="deadline applied to requests that carry none",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-shutdown budget on SIGINT/SIGTERM",
+    )
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a server with a seeded request stream; report "
+        "throughput and p50/p95/p99 latency against an SLO",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1", help="server address")
+    loadgen.add_argument(
+        "--port", type=int, default=7421,
+        help="server port (ignored with --self-host)",
+    )
+    loadgen.add_argument(
+        "--self-host", action="store_true",
+        help="start a server in-process on an ephemeral port, drive it, "
+        "then drain it (CI smoke mode)",
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=200, help="total requests to issue"
+    )
+    loadgen.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed: fixed concurrency; open: seeded Poisson arrivals "
+        "at --rate (can overload the server)",
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=8, help="closed-loop virtual clients"
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=500.0, help="open-loop offered load (req/s)"
+    )
+    loadgen.add_argument("--seed", type=int, default=0, help="request-stream seed")
+    loadgen.add_argument(
+        "--mix", default="interference=8,build_topology=1,experiment=1",
+        help="request mix as kind=weight[,kind=weight...]",
+    )
+    loadgen.add_argument(
+        "--n-nodes", type=int, default=24,
+        help="instance-size cap for generated interference requests",
+    )
+    loadgen.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline attached to every request",
+    )
+    loadgen.add_argument(
+        "--slo-p99-ms", type=float, default=None,
+        help="assert p99 latency against this SLO; exit 1 when missed",
+    )
+    loadgen.add_argument(
+        "--workers", type=int, default=2,
+        help="self-hosted server worker processes",
+    )
+    loadgen.add_argument(
+        "--executor", choices=("process", "thread"), default="process",
+        help="self-hosted server pool flavour",
+    )
+    loadgen.add_argument(
+        "--batch-max", type=int, default=32,
+        help="self-hosted server micro-batch size cap",
+    )
+    loadgen.add_argument(
+        "--json", type=Path, default=None, help="also write the report as JSON"
     )
     return parser
 
@@ -328,6 +432,12 @@ def _main(argv: list[str] | None = None) -> int:
     if args.command == "opt":
         return _opt(args)
 
+    if args.command == "serve":
+        return _serve(args)
+
+    if args.command == "loadgen":
+        return _loadgen(args)
+
     if args.command == "churn":
         result = experiments.run(
             "churn_resilience",
@@ -392,6 +502,112 @@ def _trace(args, experiments) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    import asyncio
+
+    from repro.serve import InterferenceServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        executor=args.executor,
+        batch_max_size=args.batch_max,
+        batch_linger_ms=args.linger_ms,
+        queue_limit=args.queue_limit,
+        default_deadline_ms=args.default_deadline_ms,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+    async def _run() -> None:
+        import signal
+
+        server = InterferenceServer(config)
+        await server.start()
+        print(
+            f"repro serve: listening on {server.host}:{server.port} "
+            f"({config.workers} {config.executor} worker(s), "
+            f"batch<={config.batch_max_size}, queue<={config.queue_limit})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("repro serve: draining...", flush=True)
+        await server.stop()
+        stats = server.stats()
+        print(
+            "repro serve: stopped after "
+            f"{stats['completed']} request(s), {stats['batches']} batch(es), "
+            f"{stats['rejected_overloaded']} shed",
+        )
+
+    asyncio.run(_run())
+    return 0
+
+
+def _parse_mix(text: str) -> tuple[tuple[str, int], ...]:
+    mix = []
+    for part in text.split(","):
+        kind, sep, weight = part.strip().partition("=")
+        if not kind:
+            continue
+        mix.append((kind, int(weight) if sep else 1))
+    return tuple(mix)
+
+
+def _loadgen(args) -> int:
+    import asyncio
+
+    from repro.serve import (
+        InterferenceServer,
+        LoadGenConfig,
+        ServeConfig,
+        run_loadgen,
+    )
+
+    config = LoadGenConfig(
+        n_requests=args.requests,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        rate_rps=args.rate,
+        seed=args.seed,
+        mix=_parse_mix(args.mix),
+        n_nodes=args.n_nodes,
+        deadline_ms=args.deadline_ms,
+        slo_p99_ms=args.slo_p99_ms,
+    )
+
+    async def _run():
+        server = None
+        host, port = args.host, args.port
+        try:
+            if args.self_host:
+                server = InterferenceServer(ServeConfig(
+                    port=0,
+                    workers=args.workers,
+                    executor=args.executor,
+                    batch_max_size=args.batch_max,
+                ))
+                await server.start()
+                host, port = server.host, server.port
+                print(f"loadgen: self-hosted server on {host}:{port}")
+            return await run_loadgen(config, host=host, port=port)
+        finally:
+            if server is not None:
+                await server.stop()
+
+    report = asyncio.run(_run())
+    print(report.render())
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report.to_jsonable(), indent=2))
+        print(f"  wrote {args.json}")
+    return 0 if report.slo_met else 1
+
+
 def _sweep(args, experiments) -> int:
     from repro.runner import ResultCache, expand_grid, run_sweep
 
@@ -422,14 +638,23 @@ def _sweep(args, experiments) -> int:
     with contextlib.ExitStack() as stack:
         if args.trace_out is not None:
             stack.enter_context(obs.capture())
-        outcome = run_sweep(
-            tasks,
-            workers=args.workers,
-            cache=cache,
-            force=args.force,
-            manifest_path=args.manifest,
-            progress=progress,
-        )
+        try:
+            outcome = run_sweep(
+                tasks,
+                workers=args.workers,
+                cache=cache,
+                force=args.force,
+                manifest_path=args.manifest,
+                progress=progress,
+                task_timeout_s=args.task_timeout,
+            )
+        except KeyboardInterrupt:
+            print(
+                "sweep: interrupted — outstanding tasks cancelled, partial "
+                f"manifest flushed to {args.manifest}",
+                file=sys.stderr,
+            )
+            return 130
     if args.trace_out is not None:
         path = obs.write_trace_jsonl(args.trace_out, obs.snapshot())
         print(f"  trace: {path}")

@@ -1,0 +1,52 @@
+"""Harness-diagnostic experiments: tiny, predictable workloads.
+
+These are not paper reproductions — they exist so the execution layers
+(sweep runner, serving pool, load generator) have registered workloads
+with *known* cost profiles:
+
+- ``diag_echo`` returns immediately (framing/dispatch overhead floor);
+- ``diag_sleep`` blocks for a requested duration (timeout enforcement,
+  admission-control back-pressure, drain behaviour).
+
+Both are registered like any other experiment so they resolve by id in
+worker processes regardless of the multiprocessing start method, and both
+are cheap enough (default 1 ms sleep) to ride along in full-registry
+sweeps without distorting reports.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.registry import ExperimentResult, register
+
+
+@register("diag_echo", "Diagnostics: echo payload (dispatch-overhead floor)",
+          "harness")
+def diag_echo(*, payload=None, seed: int | None = None) -> ExperimentResult:
+    """Return ``payload`` untouched; measures pure dispatch overhead."""
+    return ExperimentResult(
+        experiment_id="diag_echo",
+        title="Diagnostics: echo",
+        headers=["worker_pid", "payload"],
+        rows=[[os.getpid(), payload]],
+        notes=["harness diagnostic; not a paper artifact"],
+        data={"payload": payload, "seed": seed},
+    )
+
+
+@register("diag_sleep", "Diagnostics: sleep for a fixed duration", "harness")
+def diag_sleep(*, seconds: float = 0.001, seed: int | None = None) -> ExperimentResult:
+    """Sleep ``seconds`` then return; a deterministic-cost slow task."""
+    if seconds < 0:
+        raise ValueError("seconds must be >= 0")
+    time.sleep(seconds)
+    return ExperimentResult(
+        experiment_id="diag_sleep",
+        title="Diagnostics: sleep",
+        headers=["seconds", "worker_pid"],
+        rows=[[seconds, os.getpid()]],
+        notes=["harness diagnostic; not a paper artifact"],
+        data={"seconds": seconds, "seed": seed},
+    )

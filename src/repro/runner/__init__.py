@@ -21,11 +21,13 @@ from repro.runner.core import (
     MAX_INFLIGHT_PER_WORKER,
     SweepOutcome,
     SweepTask,
+    TaskTimeout,
     derive_seeds,
     expand_grid,
     run_sweep,
 )
 from repro.runner.manifest import RunManifest, TaskRecord
+from repro.runner.pool import terminate_pool
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -35,10 +37,12 @@ __all__ = [
     "SweepOutcome",
     "SweepTask",
     "TaskRecord",
+    "TaskTimeout",
     "cache_key",
     "code_fingerprint",
     "default_cache_dir",
     "derive_seeds",
     "expand_grid",
     "run_sweep",
+    "terminate_pool",
 ]

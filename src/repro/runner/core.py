@@ -21,6 +21,21 @@ sweep produces byte-identical payloads to a serial one. Workers are
 dispatched by experiment *id* (see ``registry.run_payload``) and return
 only strictly-JSON-safe payloads, so no experiment closure ever crosses a
 pickle boundary.
+
+Timeouts and interruption
+-------------------------
+Tasks may carry a wall-clock budget (``SweepTask.timeout_s``, or the
+sweep-wide ``task_timeout_s`` default). In pool mode an expired task is
+recorded in the manifest with ``status="timeout"`` and its worker process
+is terminated (the pool is respawned and surviving in-flight tasks are
+resubmitted), so one runaway task can neither hang the sweep nor leak a
+worker. In serial mode the task cannot be preempted; it is marked
+``"timeout"`` *post hoc* and its result discarded, keeping the manifest
+semantics identical. ``KeyboardInterrupt`` (or any other
+``BaseException``) cancels outstanding futures, force-terminates the pool
+(:func:`repro.runner.pool.terminate_pool` — the same shutdown path the
+serving layer uses), flushes the partial manifest to ``manifest_path``
+and re-raises, so Ctrl-C exits promptly with a resumable record on disk.
 """
 
 from __future__ import annotations
@@ -39,6 +54,7 @@ from repro import obs
 from repro.experiments.registry import ExperimentResult, get, run_payload
 from repro.runner.cache import ResultCache, cache_key, code_fingerprint
 from repro.runner.manifest import RunManifest, TaskRecord
+from repro.runner.pool import terminate_pool
 
 #: Chunked dispatch: cap on in-flight futures per worker process.
 MAX_INFLIGHT_PER_WORKER = 4
@@ -46,10 +62,16 @@ MAX_INFLIGHT_PER_WORKER = 4
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One unit of sweep work: an experiment id plus resolved kwargs."""
+    """One unit of sweep work: an experiment id plus resolved kwargs.
+
+    ``timeout_s`` is an optional per-task wall-clock budget; ``None``
+    defers to ``run_sweep(..., task_timeout_s=...)`` (and ``None`` there
+    means unlimited). See the module docstring for enforcement semantics.
+    """
 
     experiment_id: str
     kwargs: dict = field(default_factory=dict)
+    timeout_s: float | None = None
 
 
 @dataclass
@@ -111,6 +133,10 @@ def _execute_task(experiment_id: str, kwargs: dict) -> tuple[dict, float, int]:
     return payload, time.perf_counter() - start, os.getpid()
 
 
+class TaskTimeout(RuntimeError):
+    """A sweep task exceeded its wall-clock budget."""
+
+
 def run_sweep(
     tasks: Iterable[SweepTask],
     *,
@@ -120,15 +146,19 @@ def run_sweep(
     manifest_path: Path | str | None = None,
     progress: Callable[[TaskRecord], None] | None = None,
     max_inflight_per_worker: int = MAX_INFLIGHT_PER_WORKER,
+    task_timeout_s: float | None = None,
 ) -> SweepOutcome:
     """Execute a sweep; see the module docstring for semantics.
 
     Raises ``RuntimeError`` (chained from the first failure) if any task
-    fails — after recording every task in the manifest and persisting all
-    successful results, so a re-run resumes rather than recomputes.
+    fails or times out — after recording every task in the manifest and
+    persisting all successful results, so a re-run resumes rather than
+    recomputes.
     """
     tasks = list(tasks)
     n_workers = max(1, int(workers or 1))
+    if task_timeout_s is not None and task_timeout_s <= 0:
+        raise ValueError("task_timeout_s must be positive (or None)")
     with obs.span("runner.sweep", tasks=len(tasks), workers=n_workers):
         return _run_sweep(
             tasks,
@@ -138,6 +168,7 @@ def run_sweep(
             manifest_path=manifest_path,
             progress=progress,
             max_inflight_per_worker=max_inflight_per_worker,
+            task_timeout_s=task_timeout_s,
         )
 
 
@@ -150,11 +181,17 @@ def _run_sweep(
     manifest_path: Path | str | None,
     progress: Callable[[TaskRecord], None] | None,
     max_inflight_per_worker: int,
+    task_timeout_s: float | None = None,
 ) -> SweepOutcome:
     manifest = RunManifest(
         workers=n_workers, cache_dir=str(cache.root) if cache else None
     )
     started = time.perf_counter()
+
+    def flush_manifest() -> None:
+        manifest.wall_time_s = time.perf_counter() - started
+        if manifest_path is not None:
+            manifest.write(manifest_path)
 
     # Validate ids and fingerprint each experiment's code up front.
     fingerprints: dict[str, str] = {}
@@ -170,11 +207,18 @@ def _run_sweep(
         else:
             keys.append(None)
 
+    def timeout_for(index: int) -> float | None:
+        own = tasks[index].timeout_s
+        return own if own is not None else task_timeout_s
+
     payloads: list[dict | None] = [None] * len(tasks)
     errors: list[tuple[SweepTask, BaseException]] = []
 
     def record(index: int, *, hit: bool, wall: float, worker: str,
-               error: BaseException | None = None) -> None:
+               error: BaseException | None = None,
+               status: str | None = None) -> None:
+        if status is None:
+            status = "ok" if error is None else "error"
         entry = TaskRecord(
             index=index,
             experiment_id=tasks[index].experiment_id,
@@ -183,13 +227,15 @@ def _run_sweep(
             cache_hit=hit,
             wall_time_s=wall,
             worker_id=worker,
-            status="ok" if error is None else "error",
+            status=status,
             error=None if error is None else repr(error),
         )
         manifest.add(entry)
         # One span per manifest entry, with the *same* wall time, so a
         # trace export reconciles 1:1 with the manifest (index + duration).
         obs.count("runner.cache.hit" if hit else "runner.cache.miss")
+        if status == "timeout":
+            obs.count("runner.task.timeout")
         obs.record_span(
             "runner.task",
             wall,
@@ -221,49 +267,28 @@ def _run_sweep(
             cache.put(keys[index], payload)
         record(index, hit=False, wall=wall, worker=worker)
 
-    if n_workers == 1:
-        for index in pending:
-            task = tasks[index]
-            t0 = time.perf_counter()
-            try:
-                payload = run_payload(task.experiment_id, task.kwargs)
-            except Exception as exc:  # record, keep going, raise at the end
-                errors.append((task, exc))
-                record(index, hit=False, wall=time.perf_counter() - t0,
-                       worker="main", error=exc)
-                continue
-            finish(index, payload, time.perf_counter() - t0, worker="main")
-    elif pending:
-        max_inflight = max(n_workers, n_workers * max_inflight_per_worker)
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            inflight = {}
-            queue = iter(pending)
-            exhausted = False
-            while inflight or not exhausted:
-                while not exhausted and len(inflight) < max_inflight:
-                    index = next(queue, None)
-                    if index is None:
-                        exhausted = True
-                        break
-                    task = tasks[index]
-                    future = pool.submit(_execute_task, task.experiment_id, task.kwargs)
-                    inflight[future] = index
-                if not inflight:
-                    break
-                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = inflight.pop(future)
-                    exc = future.exception()
-                    if exc is not None:
-                        errors.append((tasks[index], exc))
-                        record(index, hit=False, wall=0.0, worker="pool", error=exc)
-                        continue
-                    payload, wall, pid = future.result()
-                    finish(index, payload, wall, worker=str(pid))
+    try:
+        if n_workers == 1:
+            _run_serial(tasks, pending, timeout_for, finish, record, errors)
+        elif pending:
+            _run_pool(
+                tasks,
+                pending,
+                n_workers,
+                max(n_workers, n_workers * max_inflight_per_worker),
+                timeout_for,
+                finish,
+                record,
+                errors,
+            )
+    except BaseException:
+        # Ctrl-C (or a raising progress callback): the partial manifest is
+        # flushed so the sweep is resumable, then the interrupt propagates
+        # for a nonzero exit.
+        flush_manifest()
+        raise
 
-    manifest.wall_time_s = time.perf_counter() - started
-    if manifest_path is not None:
-        manifest.write(manifest_path)
+    flush_manifest()
 
     if errors:
         task, first = errors[0]
@@ -274,3 +299,113 @@ def _run_sweep(
 
     results = [ExperimentResult.from_jsonable(payload) for payload in payloads]
     return SweepOutcome(results=results, manifest=manifest)
+
+
+def _run_serial(tasks, pending, timeout_for, finish, record, errors) -> None:
+    for index in pending:
+        task = tasks[index]
+        t0 = time.perf_counter()
+        try:
+            payload = run_payload(task.experiment_id, task.kwargs)
+        except Exception as exc:  # record, keep going, raise at the end
+            errors.append((task, exc))
+            record(index, hit=False, wall=time.perf_counter() - t0,
+                   worker="main", error=exc)
+            continue
+        wall = time.perf_counter() - t0
+        limit = timeout_for(index)
+        if limit is not None and wall > limit:
+            # Serial execution cannot preempt; mark post hoc and discard
+            # the result so the manifest agrees with pool-mode semantics.
+            exc = TaskTimeout(
+                f"{task.experiment_id} took {wall:.3f}s (budget {limit:g}s)"
+            )
+            errors.append((task, exc))
+            record(index, hit=False, wall=wall, worker="main",
+                   error=exc, status="timeout")
+            continue
+        finish(index, payload, wall, worker="main")
+
+
+def _run_pool(
+    tasks, pending, n_workers, max_inflight, timeout_for, finish, record, errors
+) -> None:
+    pool = ProcessPoolExecutor(max_workers=n_workers)
+    inflight: dict = {}  # future -> index
+    deadlines: dict = {}  # future -> absolute perf_counter deadline (or None)
+    queue = iter(pending)
+    exhausted = False
+
+    def submit(index: int) -> None:
+        task = tasks[index]
+        future = pool.submit(_execute_task, task.experiment_id, task.kwargs)
+        inflight[future] = index
+        limit = timeout_for(index)
+        deadlines[future] = (
+            None if limit is None else time.perf_counter() + limit
+        )
+
+    try:
+        while inflight or not exhausted:
+            while not exhausted and len(inflight) < max_inflight:
+                index = next(queue, None)
+                if index is None:
+                    exhausted = True
+                    break
+                submit(index)
+            if not inflight:
+                break
+            waits = [d for d in deadlines.values() if d is not None]
+            wait_s = (
+                None if not waits
+                else max(0.0, min(waits) - time.perf_counter())
+            )
+            done, _ = wait(inflight, timeout=wait_s, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = inflight.pop(future)
+                deadlines.pop(future, None)
+                exc = future.exception()
+                if exc is not None:
+                    errors.append((tasks[index], exc))
+                    record(index, hit=False, wall=0.0, worker="pool", error=exc)
+                    continue
+                payload, wall, pid = future.result()
+                finish(index, payload, wall, worker=str(pid))
+
+            # Expire overdue tasks (budget measured from submission).
+            now = time.perf_counter()
+            expired = [
+                f for f, d in deadlines.items() if d is not None and now >= d
+            ]
+            must_respawn = False
+            for future in expired:
+                index = inflight.pop(future)
+                deadlines.pop(future, None)
+                task = tasks[index]
+                limit = timeout_for(index)
+                exc = TaskTimeout(
+                    f"{task.experiment_id} exceeded its {limit:g}s budget"
+                )
+                errors.append((task, exc))
+                record(index, hit=False, wall=float(limit), worker="pool",
+                       error=exc, status="timeout")
+                if not future.cancel():
+                    # Already running on a worker we cannot reclaim.
+                    must_respawn = True
+            if must_respawn:
+                # Kill the stuck worker(s) by replacing the whole pool;
+                # innocent in-flight tasks are resubmitted to the new one.
+                survivors = sorted(inflight.values())
+                terminate_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=n_workers)
+                inflight.clear()
+                deadlines.clear()
+                for index in survivors:
+                    submit(index)
+    except BaseException:
+        for future in inflight:
+            future.cancel()
+        terminate_pool(pool)
+        raise
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,60 @@
+"""``repro.serve`` — the long-lived serving layer of the reproduction.
+
+A zero-dependency asyncio JSON-over-TCP service exposing the project's
+core computations as request types (``interference``, ``build_topology``,
+``opt``, ``experiment``, ``ping``) behind a micro-batching scheduler,
+bounded admission queues with explicit load shedding, per-request
+deadlines, and graceful drain — plus the matching async client and a
+seeded SLO-instrumented load generator. Protocol and operational
+semantics are specified in ``docs/SERVING.md``; ``repro serve`` /
+``repro loadgen`` are the CLI entry points.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.config import ServeConfig
+from repro.serve.handlers import GENERATORS, MEASURES, run_request
+from repro.serve.loadgen import (
+    LoadGenConfig,
+    LoadGenReport,
+    build_requests,
+    percentile,
+    run_loadgen,
+)
+from repro.serve.protocol import (
+    BATCHABLE_TYPES,
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    REQUEST_TYPES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serve.server import InterferenceServer
+
+__all__ = [
+    "BATCHABLE_TYPES",
+    "ERROR_CODES",
+    "GENERATORS",
+    "InterferenceServer",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "MAX_LINE_BYTES",
+    "MEASURES",
+    "ProtocolError",
+    "REQUEST_TYPES",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "build_requests",
+    "decode_message",
+    "encode_message",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "percentile",
+    "run_loadgen",
+    "run_request",
+]

@@ -1,0 +1,170 @@
+"""Async client for the interference service (newline-delimited JSON).
+
+One :class:`ServeClient` wraps one TCP connection and supports arbitrary
+pipelining: many requests may be outstanding at once, responses are
+matched to callers by the ``id`` token regardless of arrival order (the
+server reorders freely across batches). A background reader task owns the
+socket's read side; if the connection drops, every outstanding request
+fails with ``ConnectionResetError``.
+
+Usage::
+
+    async with await ServeClient.connect(port=server.port) as client:
+        result = await client.interference(
+            generator="random_udg_connected", args={"n": 24, "seed": 7}
+        )
+        print(result["value"])
+
+Error responses raise :class:`ServeError` (``.code`` is one of the
+protocol's ``ERR_*`` constants); use :meth:`ServeClient.request_raw` to
+get the raw envelope instead — the load generator does, so it can count
+rejections without exception overhead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.serve.protocol import (
+    ERR_INTERNAL,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+
+
+class ServeError(RuntimeError):
+    """An error response from the server (code + human-readable message)."""
+
+    def __init__(self, code: str, message: str, *, request_id=None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.request_id = request_id
+
+
+class ServeClient:
+    """One pipelined client connection; see the module docstring."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[object, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name="serve-client-reader"
+        )
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0, *,
+        limit: int = MAX_LINE_BYTES,
+    ) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port, limit=limit)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        error: BaseException = ConnectionResetError("server closed the connection")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                message = decode_message(line)
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ConnectionError, OSError, ProtocolError, ValueError) as exc:
+            error = exc
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionResetError(f"connection lost: {error}")
+                    )
+            self._pending.clear()
+
+    async def request_raw(
+        self, kind: str, params: dict | None = None, *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Send one request, await its raw response envelope (no raise)."""
+        if self._closed:
+            raise RuntimeError("client is closed")
+        req_id = next(self._ids)
+        payload: dict = {"id": req_id, "type": kind}
+        if params:
+            payload["params"] = params
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        self._writer.write(encode_message(payload))
+        # Backpressure only when the transport buffer actually backs up —
+        # an unconditional drain() costs a scheduling round trip per
+        # request, which dominates small pipelined requests.
+        if self._writer.transport.get_write_buffer_size() > 64 * 1024:
+            await self._writer.drain()
+        return await future
+
+    async def request(
+        self, kind: str, params: dict | None = None, *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Send one request; return its ``result`` or raise :class:`ServeError`."""
+        response = await self.request_raw(kind, params, deadline_ms=deadline_ms)
+        if response.get("ok"):
+            return response["result"]
+        err = response.get("error") or {}
+        raise ServeError(
+            err.get("code", ERR_INTERNAL),
+            err.get("message", "unknown error"),
+            request_id=response.get("id"),
+        )
+
+    # -- typed conveniences --------------------------------------------------
+
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def interference(self, *, deadline_ms: float | None = None, **params) -> dict:
+        return await self.request("interference", params, deadline_ms=deadline_ms)
+
+    async def build_topology(self, *, deadline_ms: float | None = None, **params) -> dict:
+        return await self.request("build_topology", params, deadline_ms=deadline_ms)
+
+    async def opt(self, *, deadline_ms: float | None = None, **params) -> dict:
+        return await self.request("opt", params, deadline_ms=deadline_ms)
+
+    async def experiment(
+        self, experiment_id: str, *, deadline_ms: float | None = None, **kwargs
+    ) -> dict:
+        return await self.request(
+            "experiment",
+            {"experiment_id": experiment_id, "kwargs": kwargs},
+            deadline_ms=deadline_ms,
+        )
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

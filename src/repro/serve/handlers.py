@@ -1,0 +1,235 @@
+"""Worker-side request execution for :mod:`repro.serve`.
+
+Every handler is a plain module-level function taking a strictly-JSON-safe
+``params`` dict and returning a strictly-JSON-safe result dict, so the
+single executor entry point (:func:`run_batch`) is picklable by reference
+and spawn-safe — the same dispatch-by-name discipline as
+``repro.experiments.registry.run_payload``, which the ``experiment``
+handler reuses directly.
+
+Instances are described either inline (``params["positions"]`` as an
+``(n, 2)`` or ``(n,)`` list) or by a *seeded generator spec*::
+
+    {"generator": "random_udg_connected", "args": {"n": 24, "seed": 3}}
+
+Generator names resolve against the :data:`GENERATORS` whitelist — the
+server never calls arbitrary attributes from a request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import generators as _generators
+from repro.interference.receiver import (
+    average_interference,
+    graph_interference,
+    node_interference,
+)
+from repro.interference.sender import sender_interference
+from repro.model.udg import unit_disk_graph
+
+#: Maximum instance size a single serving request may describe. Keeps one
+#: request from monopolizing a worker; larger studies belong in sweeps.
+MAX_REQUEST_NODES = 4096
+
+#: name -> positions generator (all return an ``(n, d)`` float array).
+GENERATORS = {
+    "exponential_chain": _generators.exponential_chain,
+    "uniform_chain": _generators.uniform_chain,
+    "random_highway": _generators.random_highway,
+    "random_uniform_square": _generators.random_uniform_square,
+    "random_udg_connected": _generators.random_udg_connected,
+    "cluster_with_remote": _generators.cluster_with_remote,
+    "grid_points": _generators.grid_points,
+}
+
+#: interference measure name -> (topology -> JSON-safe value)
+MEASURES = {
+    "graph": lambda topo, **kw: int(graph_interference(topo, **kw)),
+    "average": lambda topo, **kw: float(average_interference(topo, **kw)),
+    "node": lambda topo, **kw: [int(v) for v in node_interference(topo, **kw)],
+    "sender": lambda topo, **kw: float(sender_interference(topo)),
+}
+
+
+def resolve_positions(params: dict) -> np.ndarray:
+    """Materialize the instance a request describes (see module doc)."""
+    has_inline = "positions" in params
+    has_spec = "generator" in params
+    if has_inline == has_spec:
+        raise ValueError(
+            "exactly one of 'positions' or 'generator' is required"
+        )
+    if has_inline:
+        pos = np.asarray(params["positions"], dtype=np.float64)
+        if pos.ndim not in (1, 2) or pos.size == 0:
+            raise ValueError("'positions' must be a non-empty 1-D or (n, d) list")
+    else:
+        name = params["generator"]
+        fn = GENERATORS.get(name)
+        if fn is None:
+            raise ValueError(
+                f"unknown generator {name!r}; known: {sorted(GENERATORS)}"
+            )
+        args = params.get("args", {})
+        if not isinstance(args, dict):
+            raise ValueError("'args' must be an object of generator kwargs")
+        pos = np.asarray(fn(**args), dtype=np.float64)
+    n = pos.shape[0]
+    if n > MAX_REQUEST_NODES:
+        raise ValueError(
+            f"instance of {n} nodes exceeds the per-request cap "
+            f"({MAX_REQUEST_NODES}); use the sweep runner for large studies"
+        )
+    return pos
+
+
+def _build(params: dict):
+    """Shared UDG + optional registry-algorithm construction."""
+    from repro.topologies import build
+
+    pos = resolve_positions(params)
+    unit = params.get("unit", 1.0)
+    if not isinstance(unit, (int, float)) or unit <= 0:
+        raise ValueError("'unit' must be a positive number")
+    topo = unit_disk_graph(pos, unit=float(unit))
+    algorithm = params.get("algorithm")
+    if algorithm is not None:
+        if not isinstance(algorithm, str):
+            raise ValueError("'algorithm' must be a registry name")
+        topo = build(algorithm, topo)  # KeyError -> bad_request upstream
+    return topo, algorithm
+
+
+def handle_ping(params: dict) -> dict:
+    return {"pong": True}
+
+
+def handle_interference(params: dict) -> dict:
+    """Interference of a (possibly algorithm-reduced) topology.
+
+    params: ``positions``/``generator``(+``args``), ``unit``,
+    ``algorithm`` (registry name, optional), ``measure`` (one of
+    :data:`MEASURES`, default ``"graph"``), ``method`` (kernel selector,
+    default ``"auto"``).
+    """
+    topo, algorithm = _build(params)
+    measure = params.get("measure", "graph")
+    fn = MEASURES.get(measure)
+    if fn is None:
+        raise ValueError(
+            f"unknown measure {measure!r}; known: {sorted(MEASURES)}"
+        )
+    kw = {}
+    if measure != "sender":
+        method = params.get("method", "auto")
+        if method not in ("auto", "brute", "grid"):
+            raise ValueError("'method' must be auto, brute or grid")
+        kw["method"] = method
+    return {
+        "n": int(topo.n),
+        "n_edges": int(len(topo.edges)),
+        "algorithm": algorithm,
+        "measure": measure,
+        "value": fn(topo, **kw),
+    }
+
+
+def handle_build_topology(params: dict) -> dict:
+    """Build a topology and return its edge set plus summary measures."""
+    topo, algorithm = _build(params)
+    include_edges = params.get("include_edges", True)
+    result = {
+        "n": int(topo.n),
+        "n_edges": int(len(topo.edges)),
+        "algorithm": algorithm,
+        "interference": int(graph_interference(topo)),
+        "radii": [float(r) for r in topo.radii],
+    }
+    if include_edges:
+        result["edges"] = [[int(u), int(v)] for u, v in topo.edges]
+    return result
+
+
+def handle_opt(params: dict) -> dict:
+    """Budgeted certified solve (:func:`repro.opt.solve_opt`).
+
+    params: instance spec (small ``n`` only), ``unit``,
+    ``time_budget_s``/``node_budget`` (both clamped server-side; a request
+    deadline becomes ``time_budget_s``, so running out of budget yields a
+    certified ``[lb, ub]`` bracket, not an error), ``seed``,
+    ``include_certificate`` (default True).
+    """
+    from repro.opt import OptConfig, solve_opt
+
+    pos = resolve_positions(params)
+    unit = float(params.get("unit", 1.0))
+    config = OptConfig(
+        time_budget_s=params.get("time_budget_s"),
+        node_budget=params.get("node_budget"),
+        seed=params.get("seed", 0),
+    )
+    outcome = solve_opt(pos, unit=unit, config=config)
+    result = {
+        "n": int(pos.shape[0]),
+        "value": int(outcome.value),
+        "lower_bound": int(outcome.lower_bound),
+        "status": outcome.status,
+        "exact": bool(outcome.exact),
+        "stats": {
+            k: (float(v) if isinstance(v, float) else int(v))
+            for k, v in outcome.stats.items()
+        },
+    }
+    if params.get("include_certificate", True):
+        result["certificate"] = outcome.certificate.to_jsonable()
+    return result
+
+
+def handle_experiment(params: dict) -> dict:
+    """Run a registered experiment by id (``repro.experiments``)."""
+    from repro.experiments.registry import run_payload
+
+    experiment_id = params.get("experiment_id")
+    if not isinstance(experiment_id, str):
+        raise ValueError("'experiment_id' must be a registry id string")
+    kwargs = params.get("kwargs", {})
+    if not isinstance(kwargs, dict):
+        raise ValueError("'kwargs' must be an object")
+    return run_payload(experiment_id, kwargs)
+
+
+HANDLERS = {
+    "ping": handle_ping,
+    "interference": handle_interference,
+    "build_topology": handle_build_topology,
+    "opt": handle_opt,
+    "experiment": handle_experiment,
+}
+
+
+def run_request(kind: str, params: dict) -> dict:
+    """Execute one request; raises on invalid input (mapped upstream)."""
+    handler = HANDLERS.get(kind)
+    if handler is None:
+        raise ValueError(f"unknown request type {kind!r}")
+    return handler(params)
+
+
+def run_batch(kind: str, params_list: list[dict]) -> list[dict]:
+    """Executor entry point: run a batch of same-type requests.
+
+    Items fail independently — a bad request in a batch yields an error
+    *item*, never a failed batch. Each item is ``{"ok": True, "result":
+    ...}`` or ``{"ok": False, "error": "<repr>"}``.
+    """
+    import repro.experiments  # noqa: F401  (fresh interpreters: fill REGISTRY)
+
+    out = []
+    for params in params_list:
+        try:
+            out.append({"ok": True, "result": run_request(kind, params)})
+        except Exception as exc:
+            out.append({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+    return out

@@ -1,0 +1,311 @@
+"""Seeded load generation against a running interference server.
+
+Two driving disciplines, both fully deterministic in the request sequence
+given a seed (service times and therefore latencies are of course not):
+
+- **closed loop** — ``concurrency`` virtual clients, each with its own
+  connection, each issuing its next request the moment the previous one
+  completes. Measures capacity: throughput at a fixed concurrency level.
+- **open loop** — requests fire at seeded-exponential (Poisson) arrival
+  times at ``rate_rps`` on one pipelined connection, *regardless of
+  completions*. Measures behaviour under offered load — including
+  overload, where the server's admission control must shed with explicit
+  ``overloaded`` rejections while accepted-request latency stays bounded
+  (the coordinated-omission-free discipline; a closed loop cannot
+  overload a server).
+
+The report separates protocol health (``protocol_errors`` — frames or
+envelopes that violate ``docs/SERVING.md``; must be zero) from rejections
+(expected under overload) and computes nearest-rank latency percentiles
+over *successful* requests only. If ``slo_p99_ms`` is set, ``slo_met``
+asserts p99 against it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.serve.client import ServeClient
+from repro.serve.protocol import ERROR_CODES
+
+#: Registry algorithms cheap enough for per-request construction.
+_LOADGEN_ALGORITHMS = ("emst", "xtc", "nnf")
+
+
+@dataclass(frozen=True, kw_only=True)
+class LoadGenConfig:
+    """Options for :func:`run_loadgen`.
+
+    ``mix`` maps request types to integer weights; the seeded request
+    stream samples from it. ``n_nodes`` bounds the instance size of
+    generated ``interference``/``build_topology`` requests (each request
+    draws n uniformly from ``[n_nodes // 2, n_nodes]``). ``opt_nodes``
+    sizes ``opt`` instances (exact-solver territory, keep it small).
+    """
+
+    n_requests: int = 200
+    mode: str = "closed"
+    concurrency: int = 8
+    rate_rps: float = 500.0
+    seed: int = 0
+    mix: tuple[tuple[str, int], ...] = (
+        ("interference", 8),
+        ("build_topology", 1),
+        ("experiment", 1),
+    )
+    n_nodes: int = 24
+    opt_nodes: int = 8
+    deadline_ms: float | None = None
+    slo_p99_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.mode not in ("closed", "open"):
+            raise ValueError("mode must be 'closed' or 'open'")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if not self.mix:
+            raise ValueError("mix must name at least one request type")
+        for kind, weight in self.mix:
+            if kind not in ("interference", "build_topology", "opt", "experiment"):
+                raise ValueError(f"mix names unknown request type {kind!r}")
+            if weight <= 0:
+                raise ValueError("mix weights must be positive integers")
+        if self.n_nodes < 4:
+            raise ValueError("n_nodes must be >= 4")
+        if not 2 <= self.opt_nodes <= 16:
+            raise ValueError("opt_nodes must lie in [2, 16]")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
+        if self.slo_p99_ms is not None and self.slo_p99_ms <= 0:
+            raise ValueError("slo_p99_ms must be positive (or None)")
+
+
+def _make_params(kind: str, rng: random.Random, config: LoadGenConfig) -> dict:
+    if kind in ("interference", "build_topology"):
+        n = rng.randint(max(4, config.n_nodes // 2), config.n_nodes)
+        params: dict = {
+            "generator": "random_udg_connected",
+            "args": {"n": n, "side": 2.0, "seed": rng.randrange(2**31)},
+        }
+        if kind == "build_topology":
+            params["algorithm"] = rng.choice(_LOADGEN_ALGORITHMS)
+            params["include_edges"] = False
+        return params
+    if kind == "opt":
+        return {
+            "generator": "exponential_chain",
+            "args": {"n": config.opt_nodes},
+            "node_budget": 50_000,
+            "seed": 0,
+            "include_certificate": False,
+        }
+    return {  # experiment
+        "experiment_id": "diag_echo",
+        "kwargs": {"payload": rng.randrange(2**16)},
+    }
+
+
+def build_requests(config: LoadGenConfig) -> list[tuple[str, dict]]:
+    """The deterministic request stream for ``config`` (same seed — same
+    list, element for element)."""
+    rng = random.Random(config.seed)
+    kinds = [k for k, w in config.mix for _ in range(w)]
+    return [
+        (kind, _make_params(kind, rng, config))
+        for kind in (rng.choice(kinds) for _ in range(config.n_requests))
+    ]
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list (q in [0, 100])."""
+    if not sorted_values:
+        return math.nan
+    if not 0 <= q <= 100:
+        raise ValueError("q must lie in [0, 100]")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@dataclass
+class LoadGenReport:
+    """Outcome of one load-generation run (JSON-exportable)."""
+
+    mode: str
+    seed: int
+    n_requests: int
+    n_ok: int = 0
+    rejections: dict = field(default_factory=dict)  # error code -> count
+    protocol_errors: int = 0
+    by_kind: dict = field(default_factory=dict)  # kind -> issued count
+    wall_s: float = 0.0
+    throughput_rps: float = 0.0
+    p50_ms: float = math.nan
+    p95_ms: float = math.nan
+    p99_ms: float = math.nan
+    mean_ms: float = math.nan
+    max_ms: float = math.nan
+    slo_p99_ms: float | None = None
+
+    @property
+    def slo_met(self) -> bool:
+        """p99 within the SLO and zero protocol errors (vacuously true
+        when no SLO is configured — protocol errors still fail it)."""
+        if self.protocol_errors:
+            return False
+        if self.slo_p99_ms is None:
+            return True
+        return not math.isnan(self.p99_ms) and self.p99_ms <= self.slo_p99_ms
+
+    def to_jsonable(self) -> dict:
+        def _f(x):
+            return None if isinstance(x, float) and math.isnan(x) else x
+
+        return {
+            "mode": self.mode,
+            "seed": self.seed,
+            "n_requests": self.n_requests,
+            "n_ok": self.n_ok,
+            "rejections": dict(sorted(self.rejections.items())),
+            "protocol_errors": self.protocol_errors,
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "wall_s": round(self.wall_s, 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "latency_ms": {
+                "p50": _f(self.p50_ms),
+                "p95": _f(self.p95_ms),
+                "p99": _f(self.p99_ms),
+                "mean": _f(self.mean_ms),
+                "max": _f(self.max_ms),
+            },
+            "slo_p99_ms": self.slo_p99_ms,
+            "slo_met": self.slo_met,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"loadgen: {self.mode} loop, {self.n_requests} request(s), "
+            f"seed {self.seed}",
+            f"  ok {self.n_ok}, rejected "
+            + (
+                ", ".join(f"{k}={v}" for k, v in sorted(self.rejections.items()))
+                or "none"
+            )
+            + f", protocol errors {self.protocol_errors}",
+            f"  mix: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.by_kind.items())),
+            f"  wall {self.wall_s:.3f}s, throughput {self.throughput_rps:.1f} req/s",
+            f"  latency ms: p50 {self.p50_ms:.2f}  p95 {self.p95_ms:.2f}  "
+            f"p99 {self.p99_ms:.2f}  mean {self.mean_ms:.2f}  max {self.max_ms:.2f}",
+        ]
+        if self.slo_p99_ms is not None:
+            verdict = "MET" if self.slo_met else "MISSED"
+            lines.append(
+                f"  SLO: p99 <= {self.slo_p99_ms:g} ms -> {verdict}"
+            )
+        return "\n".join(lines)
+
+
+async def run_loadgen(
+    config: LoadGenConfig, *, host: str = "127.0.0.1", port: int
+) -> LoadGenReport:
+    """Drive a server with the seeded request stream; see module docstring."""
+    requests = build_requests(config)
+    report = LoadGenReport(
+        mode=config.mode, seed=config.seed, n_requests=len(requests)
+    )
+    for kind, _ in requests:
+        report.by_kind[kind] = report.by_kind.get(kind, 0) + 1
+    latencies: list[float] = []
+
+    async def issue(client: ServeClient, kind: str, params: dict) -> None:
+        t0 = time.perf_counter()
+        try:
+            response = await client.request_raw(
+                kind, params, deadline_ms=config.deadline_ms
+            )
+        except (ConnectionError, OSError, RuntimeError):
+            report.protocol_errors += 1
+            return
+        ms = (time.perf_counter() - t0) * 1e3
+        if response.get("ok"):
+            report.n_ok += 1
+            latencies.append(ms)
+            return
+        code = (response.get("error") or {}).get("code")
+        if code in ERROR_CODES:
+            report.rejections[code] = report.rejections.get(code, 0) + 1
+        else:
+            report.protocol_errors += 1
+
+    with obs.span("serve.loadgen", mode=config.mode, requests=len(requests)):
+        started = time.perf_counter()
+        if config.mode == "closed":
+            await _closed_loop(config, requests, host, port, issue)
+        else:
+            await _open_loop(config, requests, host, port, issue)
+        report.wall_s = time.perf_counter() - started
+
+    report.throughput_rps = (
+        report.n_ok / report.wall_s if report.wall_s > 0 else 0.0
+    )
+    if latencies:
+        latencies.sort()
+        report.p50_ms = percentile(latencies, 50)
+        report.p95_ms = percentile(latencies, 95)
+        report.p99_ms = percentile(latencies, 99)
+        report.mean_ms = sum(latencies) / len(latencies)
+        report.max_ms = latencies[-1]
+    report.slo_p99_ms = config.slo_p99_ms
+    return report
+
+
+async def _closed_loop(config, requests, host, port, issue) -> None:
+    n_workers = min(config.concurrency, len(requests))
+    cursor = iter(requests)
+
+    async def worker() -> None:
+        client = await ServeClient.connect(host, port)
+        try:
+            for kind, params in cursor:
+                await issue(client, kind, params)
+        finally:
+            await client.close()
+
+    await asyncio.gather(*(worker() for _ in range(n_workers)))
+
+
+async def _open_loop(config, requests, host, port, issue) -> None:
+    rng = random.Random(config.seed ^ 0x5EEDED)
+    offsets = []
+    t = 0.0
+    for _ in requests:
+        t += rng.expovariate(config.rate_rps)
+        offsets.append(t)
+    client = await ServeClient.connect(host, port)
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+
+    async def fire(delay: float, kind: str, params: dict) -> None:
+        remaining = started + delay - loop.time()
+        if remaining > 0:
+            await asyncio.sleep(remaining)
+        await issue(client, kind, params)
+
+    try:
+        await asyncio.gather(
+            *(
+                fire(offset, kind, params)
+                for offset, (kind, params) in zip(offsets, requests)
+            )
+        )
+    finally:
+        await client.close()

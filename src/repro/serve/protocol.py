@@ -1,0 +1,138 @@
+"""Wire protocol for :mod:`repro.serve`: newline-delimited JSON over TCP.
+
+Framing
+-------
+One message per line, UTF-8 JSON, terminated by ``\\n``; no message may
+contain a raw newline (``json.dumps`` guarantees this) or exceed
+:data:`MAX_LINE_BYTES`. Requests and responses are plain objects:
+
+Request::
+
+    {"id": 7, "type": "interference", "params": {...}, "deadline_ms": 250}
+
+- ``id`` — client-chosen correlation token (int or string); echoed back
+  verbatim. Responses may arrive out of request order (batching and
+  per-type scheduling reorder freely), so clients match on ``id``.
+- ``type`` — one of :data:`REQUEST_TYPES`.
+- ``params`` — type-specific payload (see :mod:`repro.serve.handlers`);
+  optional, defaults to ``{}``.
+- ``deadline_ms`` — optional wall-clock budget measured from admission.
+
+Response (success / failure)::
+
+    {"id": 7, "ok": true,  "result": {...}, "ms": 3.2}
+    {"id": 7, "ok": false, "error": {"code": "overloaded", "message": "..."},
+     "ms": 0.1}
+
+``ms`` is the server-side latency from admission to response. Error
+``code`` is one of the ``ERR_*`` constants below; anything else a client
+sees is a protocol violation.
+
+This module is shared by server, client and load generator, and has no
+dependencies beyond the stdlib.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Upper bound on one framed message (request or response), in bytes.
+MAX_LINE_BYTES = 1_000_000
+
+#: The request types the server understands. ``ping`` is answered inline
+#: (no executor dispatch); the rest run on the worker pool.
+REQUEST_TYPES = ("ping", "interference", "build_topology", "opt", "experiment")
+
+#: Request types eligible for micro-batching (coalesced into one worker
+#: dispatch). Only small, uniform-cost requests benefit; everything else
+#: is dispatched individually.
+BATCHABLE_TYPES = ("interference",)
+
+ERR_BAD_REQUEST = "bad_request"
+ERR_OVERLOADED = "overloaded"
+ERR_DEADLINE = "deadline_exceeded"
+ERR_INTERNAL = "internal"
+ERR_SHUTTING_DOWN = "shutting_down"
+
+#: Every error code a response may carry.
+ERROR_CODES = (
+    ERR_BAD_REQUEST,
+    ERR_OVERLOADED,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_SHUTTING_DOWN,
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or request envelope."""
+
+
+def encode_message(payload: dict) -> bytes:
+    """Frame one message: compact JSON + newline."""
+    line = json.dumps(payload, separators=(",", ":"), allow_nan=False)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds MAX_LINE_BYTES"
+        )
+    return data
+
+
+def decode_message(line: bytes | str) -> dict:
+    """Parse one framed line into a message object."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("frame exceeds MAX_LINE_BYTES")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return payload
+
+
+def parse_request(message: dict) -> tuple[object, str, dict, float | None]:
+    """Validate a request envelope -> ``(id, type, params, deadline_ms)``.
+
+    Raises :class:`ProtocolError` with a message safe to echo back.
+    """
+    req_id = message.get("id")
+    if req_id is not None and not isinstance(req_id, (int, str)):
+        raise ProtocolError("request 'id' must be an int or string")
+    kind = message.get("type")
+    if kind not in REQUEST_TYPES:
+        raise ProtocolError(
+            f"unknown request type {kind!r}; known: {list(REQUEST_TYPES)}"
+        )
+    params = message.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("request 'params' must be an object")
+    deadline_ms = message.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or isinstance(
+            deadline_ms, bool
+        ) or deadline_ms <= 0:
+            raise ProtocolError("request 'deadline_ms' must be a positive number")
+        deadline_ms = float(deadline_ms)
+    return req_id, kind, params, deadline_ms
+
+
+def ok_response(req_id, result: dict, *, ms: float) -> dict:
+    return {"id": req_id, "ok": True, "result": result, "ms": round(ms, 3)}
+
+
+def error_response(req_id, code: str, message: str, *, ms: float = 0.0) -> dict:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return {
+        "id": req_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+        "ms": round(ms, 3),
+    }

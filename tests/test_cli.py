@@ -187,6 +187,94 @@ class TestSweepCli:
         assert manifest["totals"]["cache_hits"] == 0
 
 
+class TestServeCli:
+    def test_loadgen_self_host_round_trip(self, capsys, tmp_path):
+        out_json = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--self-host",
+                    "--executor",
+                    "thread",
+                    "--requests",
+                    "30",
+                    "--seed",
+                    "1",
+                    "--slo-p99-ms",
+                    "5000",
+                    "--json",
+                    str(out_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "self-hosted server" in out
+        assert "SLO: p99 <= 5000 ms -> MET" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["n_ok"] == 30
+        assert payload["protocol_errors"] == 0
+        assert payload["slo_met"] is True
+
+    def test_loadgen_missed_slo_exits_nonzero(self, capsys):
+        # An impossible SLO must fail the run visibly (exit 1).
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--self-host",
+                    "--executor",
+                    "thread",
+                    "--requests",
+                    "10",
+                    "--slo-p99-ms",
+                    "0.000001",
+                ]
+            )
+            == 1
+        )
+        assert "MISSED" in capsys.readouterr().out
+
+    def test_mix_parsing(self):
+        from repro.cli import _parse_mix
+
+        assert _parse_mix("interference=8,opt") == (
+            ("interference", 8),
+            ("opt", 1),
+        )
+        assert _parse_mix("experiment=3") == (("experiment", 3),)
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError, match="unknown request type"):
+            main(["loadgen", "--self-host", "--mix", "bogus=1"])
+
+    def test_serve_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--executor", "carrier-pigeon"])
+
+    def test_sweep_task_timeout_flag(self, capsys, tmp_path):
+        manifest_path = tmp_path / "m.json"
+        with pytest.raises(RuntimeError, match="sweep task"):
+            main(
+                [
+                    "sweep",
+                    "diag_sleep",
+                    "--no-cache",
+                    "--param",
+                    "seconds=[0.2]",
+                    "--task-timeout",
+                    "0.05",
+                    "--manifest",
+                    str(manifest_path),
+                ]
+            )
+        out = capsys.readouterr().out
+        assert "[timeout]" in out
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["tasks"][0]["status"] == "timeout"
+
+
 class TestTraceCli:
     def test_trace_prints_span_tree_and_counters(self, capsys):
         assert main(["trace", "fig1_robustness"]) == 0

@@ -1,0 +1,195 @@
+"""Runner resilience: per-task timeouts, interruption, cache concurrency.
+
+Companion to ``tests/test_runner.py`` — that file covers the happy paths;
+this one covers the failure modes the serving layer leans on: wall-clock
+budgets that terminate stuck workers, Ctrl-C flushing a resumable partial
+manifest, and two processes racing atomic writes on one cache key.
+"""
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.runner import (
+    ResultCache,
+    RunManifest,
+    SweepTask,
+    TaskTimeout,
+    run_sweep,
+)
+
+SLEEPY = SweepTask("diag_sleep", {"seconds": 0.2})
+FAST = SweepTask("fig2_sample")
+
+
+class TestTaskTimeouts:
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError, match="task_timeout_s"):
+            run_sweep([FAST], task_timeout_s=0)
+
+    def test_serial_post_hoc_timeout_recorded(self, tmp_path):
+        manifest_path = tmp_path / "m.json"
+        with pytest.raises(RuntimeError, match="sweep task") as info:
+            run_sweep(
+                [SLEEPY, FAST], workers=1, task_timeout_s=0.05,
+                manifest_path=manifest_path,
+            )
+        assert isinstance(info.value.__cause__, TaskTimeout)
+        manifest = RunManifest.from_json(manifest_path.read_text())
+        statuses = {t.experiment_id: t.status for t in manifest.tasks}
+        assert statuses["diag_sleep"] == "timeout"
+        assert statuses["fig2_sample"] == "ok"  # later tasks still ran
+
+    def test_per_task_budget_overrides_sweep_default(self, tmp_path):
+        # The same sleepy task passes when its own budget is generous,
+        # even under a sweep-wide budget it would violate.
+        generous = SweepTask("diag_sleep", {"seconds": 0.05}, timeout_s=10.0)
+        outcome = run_sweep([generous], workers=1, task_timeout_s=0.01)
+        assert outcome.manifest.tasks[0].status == "ok"
+
+    def test_pool_timeout_terminates_stuck_worker(self, tmp_path):
+        manifest_path = tmp_path / "m.json"
+        stuck = SweepTask("diag_sleep", {"seconds": 30.0})
+        started = time.perf_counter()
+        with pytest.raises(RuntimeError, match="sweep task"):
+            run_sweep(
+                [stuck, FAST], workers=2, task_timeout_s=0.3,
+                manifest_path=manifest_path,
+            )
+        wall = time.perf_counter() - started
+        assert wall < 10.0, "timeout must not wait out the stuck task"
+        manifest = RunManifest.from_json(manifest_path.read_text())
+        statuses = {t.experiment_id: t.status for t in manifest.tasks}
+        assert statuses["diag_sleep"] == "timeout"
+        assert statuses["fig2_sample"] == "ok"  # innocent task survived
+
+    def test_timeout_counts_in_obs(self):
+        from repro import obs
+
+        with obs.capture():
+            with pytest.raises(RuntimeError):
+                run_sweep(
+                    [SweepTask("diag_sleep", {"seconds": 0.1})],
+                    workers=1, task_timeout_s=0.01,
+                )
+            counters = obs.snapshot().counters
+        assert counters["runner.task.timeout"] == 1
+
+
+class TestInterruption:
+    def test_keyboard_interrupt_flushes_partial_manifest(self, tmp_path):
+        manifest_path = tmp_path / "m.json"
+        seen = []
+
+        def progress(record):
+            seen.append(record)
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                [FAST, SweepTask("fig7_linear_chain", {"sizes": (4, 8)})],
+                workers=1, manifest_path=manifest_path, progress=progress,
+            )
+        assert len(seen) == 1
+        manifest = RunManifest.from_json(manifest_path.read_text())
+        assert manifest.n_tasks == 1  # exactly the completed prefix
+        assert manifest.tasks[0].status == "ok"
+
+    def test_pool_interrupt_flushes_and_reraises(self, tmp_path):
+        manifest_path = tmp_path / "m.json"
+
+        def progress(record):
+            raise KeyboardInterrupt
+
+        started = time.perf_counter()
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                [FAST, SweepTask("diag_sleep", {"seconds": 30.0})],
+                workers=2, manifest_path=manifest_path, progress=progress,
+            )
+        # terminate_pool must not wait out the 30 s sleeper
+        assert time.perf_counter() - started < 10.0
+        assert manifest_path.is_file()
+
+    def test_completed_work_resumes_after_interrupt(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        calls = []
+
+        def interrupt_after_first(record):
+            calls.append(record)
+            if len(calls) == 1:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                [FAST, SweepTask("fig7_linear_chain", {"sizes": (4, 8)})],
+                workers=1, cache=cache, progress=interrupt_after_first,
+            )
+        resumed = run_sweep(
+            [FAST, SweepTask("fig7_linear_chain", {"sizes": (4, 8)})],
+            workers=1, cache=cache,
+        )
+        assert resumed.manifest.n_hits == 1
+        assert resumed.manifest.n_misses == 1
+
+
+# -- cache concurrency --------------------------------------------------------
+
+RACE_KEY = "ab" + "c" * 62
+
+
+def _race_writer(root: str, tag: str, n: int) -> int:
+    """Hammer one key with distinct payloads; return writes performed."""
+    cache = ResultCache(root)
+    for i in range(n):
+        cache.put(RACE_KEY, {"writer": tag, "i": i, "pad": "x" * 512})
+    return n
+
+
+def _race_reader(root: str, n: int) -> int:
+    """Read the contested key repeatedly; return the number of torn reads
+    (a corrupt entry decodes to ``None`` after the first write exists)."""
+    cache = ResultCache(root)
+    torn = 0
+    seen_any = False
+    for _ in range(n):
+        payload = cache.get(RACE_KEY)
+        if payload is None:
+            if seen_any:
+                torn += 1  # entry vanished or tore mid-read
+            continue
+        seen_any = True
+        if payload.get("writer") not in ("a", "b") or "pad" not in payload:
+            torn += 1
+    return torn
+
+
+class TestCacheConcurrency:
+    def test_two_processes_racing_one_key(self, tmp_path):
+        root = str(tmp_path / "cache")
+        n = 300
+        with ProcessPoolExecutor(max_workers=3) as pool:
+            writer_a = pool.submit(_race_writer, root, "a", n)
+            writer_b = pool.submit(_race_writer, root, "b", n)
+            reader = pool.submit(_race_reader, root, 2 * n)
+            assert writer_a.result() == writer_b.result() == n
+            assert reader.result() == 0, "reader observed a torn entry"
+        cache = ResultCache(root)
+        # Exactly one valid entry survives; its payload is one writer's
+        # complete record, never an interleaving.
+        assert len(cache) == 1
+        payload = cache.get(RACE_KEY)
+        assert payload is not None
+        assert payload["writer"] in ("a", "b")
+        assert payload["i"] == n - 1
+        assert payload["pad"] == "x" * 512
+        # Atomic replace leaves no temporary droppings behind.
+        leftovers = [
+            p for p in (tmp_path / "cache").rglob("*") if ".tmp" in p.name
+        ]
+        assert leftovers == []
+        # The surviving file is intact JSON on disk, byte for byte.
+        on_disk = json.loads(cache.path_for(RACE_KEY).read_text())
+        assert on_disk == payload

@@ -1,0 +1,94 @@
+"""Unit tests for the serving wire protocol (framing + envelopes)."""
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    REQUEST_TYPES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = {"id": 7, "type": "ping", "params": {"x": [1, 2.5, "s"]}}
+        assert decode_message(encode_message(payload)) == payload
+
+    def test_encoding_is_one_compact_line(self):
+        data = encode_message({"id": 1, "ok": True})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert b" " not in data  # compact separators
+
+    def test_oversized_message_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="MAX_LINE_BYTES"):
+            encode_message({"blob": "x" * MAX_LINE_BYTES})
+
+    def test_oversized_frame_rejected_on_decode(self):
+        with pytest.raises(ProtocolError, match="MAX_LINE_BYTES"):
+            decode_message(b"x" * (MAX_LINE_BYTES + 1))
+
+    @pytest.mark.parametrize(
+        "line", [b"not json\n", b"[1,2]\n", b'"scalar"\n', b"\xff\xfe\n"]
+    )
+    def test_malformed_frames_raise(self, line):
+        with pytest.raises(ProtocolError):
+            decode_message(line)
+
+
+class TestParseRequest:
+    def test_full_request(self):
+        req_id, kind, params, deadline = parse_request(
+            {"id": "a1", "type": "interference", "params": {"n": 3},
+             "deadline_ms": 250}
+        )
+        assert (req_id, kind, params, deadline) == ("a1", "interference",
+                                                    {"n": 3}, 250.0)
+
+    def test_params_and_deadline_optional(self):
+        req_id, kind, params, deadline = parse_request({"id": 1, "type": "ping"})
+        assert (req_id, kind, params, deadline) == (1, "ping", {}, None)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request type"):
+            parse_request({"id": 1, "type": "frobnicate"})
+
+    def test_bad_id_rejected(self):
+        with pytest.raises(ProtocolError, match="'id'"):
+            parse_request({"id": [1], "type": "ping"})
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ProtocolError, match="'params'"):
+            parse_request({"id": 1, "type": "ping", "params": [1]})
+
+    @pytest.mark.parametrize("deadline", [0, -5, "soon", True])
+    def test_bad_deadline_rejected(self, deadline):
+        with pytest.raises(ProtocolError, match="'deadline_ms'"):
+            parse_request({"id": 1, "type": "ping", "deadline_ms": deadline})
+
+    def test_every_server_type_is_parseable(self):
+        for kind in REQUEST_TYPES:
+            assert parse_request({"id": 0, "type": kind})[1] == kind
+
+
+class TestEnvelopes:
+    def test_ok_response_shape(self):
+        resp = ok_response(9, {"value": 4}, ms=1.23456)
+        assert resp == {"id": 9, "ok": True, "result": {"value": 4},
+                        "ms": 1.235}
+
+    def test_error_response_shape(self):
+        resp = error_response(9, "overloaded", "queue full", ms=0.5)
+        assert resp["ok"] is False
+        assert resp["error"] == {"code": "overloaded", "message": "queue full"}
+
+    def test_error_codes_are_closed_set(self):
+        with pytest.raises(ValueError, match="unknown error code"):
+            error_response(1, "whoops", "nope")
+        assert len(ERROR_CODES) == len(set(ERROR_CODES)) == 5

@@ -1,0 +1,423 @@
+"""End-to-end tests for the asyncio interference server + client.
+
+pytest-asyncio is not a dependency; every test drives its own event loop
+via ``asyncio.run``. Servers use the thread executor — process-pool
+startup costs belong in the benchmark suite, and the admission/batching/
+deadline logic under test is executor-agnostic (the CLI and benchmarks
+exercise the process path).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.geometry.generators import exponential_chain
+from repro.interference.receiver import graph_interference
+from repro.model.udg import unit_disk_graph
+from repro.serve import (
+    InterferenceServer,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+)
+
+
+def thread_config(**overrides) -> ServeConfig:
+    base = dict(port=0, workers=2, executor="thread", batch_linger_ms=1.0)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRequestTypes:
+    def test_ping_and_interference_match_direct_computation(self):
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    assert (await client.ping()) == {"pong": True}
+                    return await client.interference(
+                        generator="exponential_chain", args={"n": 8}
+                    )
+
+        result = run(scenario())
+        topo = unit_disk_graph(exponential_chain(8), unit=1.0)
+        assert result["value"] == int(graph_interference(topo))
+        assert result["n"] == 8
+        assert result["measure"] == "graph"
+
+    def test_inline_positions_and_measures(self):
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    node = await client.interference(
+                        positions=[0.0, 1.0, 3.0, 7.0], measure="node"
+                    )
+                    avg = await client.interference(
+                        positions=[0.0, 1.0, 3.0, 7.0], measure="average",
+                        unit=4.0,
+                    )
+                    return node, avg
+
+        node, avg = run(scenario())
+        assert isinstance(node["value"], list) and len(node["value"]) == 4
+        assert isinstance(avg["value"], float)
+
+    def test_build_topology_applies_registry_algorithm(self):
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    udg = await client.build_topology(
+                        generator="exponential_chain", args={"n": 6}
+                    )
+                    emst = await client.build_topology(
+                        generator="exponential_chain", args={"n": 6},
+                        algorithm="emst",
+                    )
+                    return udg, emst
+
+        udg, emst = run(scenario())
+        assert udg["algorithm"] is None and emst["algorithm"] == "emst"
+        assert emst["n_edges"] == 5  # spanning tree on 6 nodes
+        assert emst["n_edges"] <= udg["n_edges"]
+        assert len(udg["edges"]) == udg["n_edges"]
+
+    def test_opt_exact_small_instance(self):
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    return await client.opt(
+                        generator="exponential_chain", args={"n": 8}
+                    )
+
+        result = run(scenario())
+        assert result["exact"] is True
+        assert result["value"] == result["lower_bound"] == 4
+        assert result["certificate"]["digest"]
+
+    def test_opt_past_deadline_returns_certified_bracket(self):
+        # The headline deadline contract: an `opt` request whose deadline
+        # cannot be met is *not* an error — the remaining deadline becomes
+        # the solver's time budget and the response carries the certified
+        # [lb, ub] bracket it reached.
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    return await client.opt(
+                        generator="exponential_chain", args={"n": 16},
+                        node_budget=10_000_000, deadline_ms=30.0,
+                    )
+
+        result = run(scenario())
+        assert result["lower_bound"] <= result["value"]
+        assert result["status"] in ("optimal", "budget")
+
+    def test_experiment_runs_registered_id(self):
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    return await client.experiment("diag_echo", payload=41)
+
+        result = run(scenario())
+        assert result["data"]["payload"] == 41
+
+
+class TestBatching:
+    def test_concurrent_small_requests_coalesce(self):
+        config = thread_config(batch_max_size=16, batch_linger_ms=20.0)
+
+        async def scenario():
+            async with InterferenceServer(config) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    results = await asyncio.gather(*(
+                        client.interference(
+                            generator="exponential_chain", args={"n": 8}
+                        )
+                        for _ in range(40)
+                    ))
+                    return results, server.stats()
+
+        results, stats = run(scenario())
+        assert len({r["value"] for r in results}) == 1  # identical instances
+        assert stats["accepted"] == 40
+        assert stats["batched_requests"] == 40
+        assert stats["max_batch_size"] > 1
+        assert stats["batches"] < 40  # coalescing actually happened
+
+    def test_batch_max_size_one_disables_coalescing(self):
+        config = thread_config(batch_max_size=1)
+
+        async def scenario():
+            async with InterferenceServer(config) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    await asyncio.gather(*(
+                        client.interference(
+                            generator="exponential_chain", args={"n": 6}
+                        )
+                        for _ in range(5)
+                    ))
+                    return server.stats()
+
+        stats = run(scenario())
+        assert stats["batches"] == 5
+        assert stats["max_batch_size"] == 1
+
+    def test_incompatible_lanes_never_share_a_batch(self):
+        config = thread_config(batch_max_size=16, batch_linger_ms=20.0)
+
+        async def scenario():
+            async with InterferenceServer(config) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    results = await asyncio.gather(*(
+                        client.interference(
+                            generator="exponential_chain", args={"n": 8},
+                            measure=("graph" if i % 2 else "average"),
+                        )
+                        for i in range(8)
+                    ))
+                    return results, server.stats()
+
+        results, stats = run(scenario())
+        assert stats["batches"] >= 2  # at least one dispatch per lane
+        graphs = [r for r in results if r["measure"] == "graph"]
+        averages = [r for r in results if r["measure"] == "average"]
+        assert len(graphs) == len(averages) == 4
+
+
+class TestErrors:
+    def test_caller_errors_map_to_bad_request(self):
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    with pytest.raises(ServeError) as info:
+                        await client.interference(generator="not_a_generator")
+                    return info.value
+
+        error = run(scenario())
+        assert error.code == "bad_request"
+        assert "unknown generator" in error.message
+
+    def test_malformed_json_line_gets_bad_request_envelope(self):
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                reader, writer = await asyncio.open_connection(
+                    port=server.port
+                )
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                line = await reader.readline()
+                writer.close()
+                await writer.wait_closed()
+                return json.loads(line)
+
+        response = run(scenario())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+        assert response["id"] is None
+
+    def test_overlong_frame_is_rejected_not_fatal(self):
+        config = thread_config(max_line_bytes=4096)
+
+        async def scenario():
+            async with InterferenceServer(config) as server:
+                reader, writer = await asyncio.open_connection(
+                    port=server.port, limit=1 << 20
+                )
+                writer.write(b'{"pad": "' + b"x" * 8192 + b'"}\n')
+                await writer.drain()
+                line = await reader.readline()
+                writer.close()
+                await writer.wait_closed()
+                return json.loads(line)
+
+        response = run(scenario())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+        assert "frame too long" in response["error"]["message"]
+
+    def test_unknown_request_type_rejected(self):
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    response = await client.request_raw("experiment", {
+                        "experiment_id": "no_such_experiment", "kwargs": {},
+                    })
+                    return response
+
+        response = run(scenario())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+
+
+class TestAdmissionControl:
+    def test_burst_past_queue_limit_sheds_explicitly(self):
+        config = thread_config(
+            workers=1, queue_limit=2, batch_max_size=1
+        )
+
+        async def scenario():
+            async with InterferenceServer(config) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    responses = await asyncio.gather(*(
+                        client.request_raw(
+                            "experiment",
+                            {"experiment_id": "diag_sleep",
+                             "kwargs": {"seconds": 0.05}},
+                        )
+                        for _ in range(12)
+                    ))
+                    return responses, server.stats()
+
+        responses, stats = run(scenario())
+        ok = [r for r in responses if r.get("ok")]
+        shed = [
+            r for r in responses
+            if not r.get("ok") and r["error"]["code"] == "overloaded"
+        ]
+        assert ok, "some requests must be served"
+        assert shed, "burst past the queue limit must be shed explicitly"
+        assert len(ok) + len(shed) == 12
+        assert stats["rejected_overloaded"] == len(shed)
+
+    def test_stats_shape(self):
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    await client.ping()
+                    await client.interference(
+                        generator="exponential_chain", args={"n": 6}
+                    )
+                return server.stats()
+
+        stats = run(scenario())
+        assert stats["pings"] == 1
+        assert stats["accepted"] == stats["completed"] == 1
+        assert stats["queue_depth"] == 0
+        assert stats["inflight_batches"] == 0
+
+
+class TestDeadlines:
+    def test_completed_after_deadline_is_an_error(self):
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    response = await client.request_raw(
+                        "experiment",
+                        {"experiment_id": "diag_sleep",
+                         "kwargs": {"seconds": 0.08}},
+                        deadline_ms=15.0,
+                    )
+                    fast = await client.request_raw(
+                        "experiment",
+                        {"experiment_id": "diag_echo", "kwargs": {}},
+                        deadline_ms=5000.0,
+                    )
+                    return response, fast, server.stats()
+
+        response, fast, stats = run(scenario())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "deadline_exceeded"
+        assert fast["ok"] is True
+        assert stats["deadline_exceeded"] == 1
+
+    def test_expired_in_queue_is_cancelled_without_executing(self):
+        config = thread_config(workers=1, batch_max_size=1)
+
+        async def scenario():
+            async with InterferenceServer(config) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    blocker = asyncio.create_task(client.request_raw(
+                        "experiment",
+                        {"experiment_id": "diag_sleep",
+                         "kwargs": {"seconds": 0.15}},
+                    ))
+                    await asyncio.sleep(0.03)  # ensure the blocker dispatched
+                    doomed = await client.request_raw(
+                        "experiment",
+                        {"experiment_id": "diag_echo", "kwargs": {}},
+                        deadline_ms=20.0,
+                    )
+                    await blocker
+                    return doomed
+
+        doomed = run(scenario())
+        assert doomed["ok"] is False
+        assert doomed["error"]["code"] == "deadline_exceeded"
+
+    def test_default_deadline_applies_when_request_has_none(self):
+        config = thread_config(default_deadline_ms=15.0)
+
+        async def scenario():
+            async with InterferenceServer(config) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    return await client.request_raw(
+                        "experiment",
+                        {"experiment_id": "diag_sleep",
+                         "kwargs": {"seconds": 0.08}},
+                    )
+
+        response = run(scenario())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "deadline_exceeded"
+
+
+class TestLifecycle:
+    def test_graceful_drain_finishes_accepted_work(self):
+        async def scenario():
+            server = InterferenceServer(thread_config())
+            await server.start()
+            client = await ServeClient.connect(port=server.port)
+            inflight = [
+                asyncio.create_task(client.request_raw(
+                    "experiment",
+                    {"experiment_id": "diag_sleep",
+                     "kwargs": {"seconds": 0.03}},
+                ))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0.01)
+            await server.stop()  # graceful: drains the accepted requests
+            responses = await asyncio.gather(*inflight)
+            await client.close()
+            return responses, server.stats()
+
+        responses, stats = run(scenario())
+        assert all(r["ok"] for r in responses)
+        assert stats["completed"] == 4
+        assert stats["queue_depth"] == 0
+
+    def test_stop_is_idempotent_and_rejects_new_connections(self):
+        async def scenario():
+            server = InterferenceServer(thread_config())
+            await server.start()
+            port = server.port
+            await server.stop()
+            await server.stop()  # idempotent
+            with pytest.raises((ConnectionError, OSError)):
+                await asyncio.wait_for(
+                    asyncio.open_connection(port=port), timeout=1.0
+                )
+
+        run(scenario())
+
+    def test_obs_counters_and_spans_recorded(self):
+        from repro import obs
+
+        async def scenario():
+            async with InterferenceServer(thread_config()) as server:
+                async with await ServeClient.connect(port=server.port) as client:
+                    await client.interference(
+                        generator="exponential_chain", args={"n": 6}
+                    )
+
+        with obs.capture():
+            run(scenario())
+            snap = obs.snapshot()
+        assert snap.counters["serve.accepted"] == 1
+        assert snap.counters["serve.completed"] == 1
+        assert snap.counters["serve.batches"] == 1
+        names = [s.name for s in snap.spans]
+        assert "serve.request" in names and "serve.batch" in names
