@@ -108,10 +108,23 @@ from repro.serve import (
     InterferenceServer,
     LoadGenConfig,
     LoadGenReport,
+    RetryPolicy,
     ServeClient,
     ServeConfig,
     ServeError,
+    ServeRetryError,
     run_loadgen,
+)
+from repro.stream import (
+    DurableStreamEngine,
+    StreamConfig,
+    StreamEngine,
+    StreamEvent,
+    WalCorruption,
+    WriteAheadLog,
+    chaos_suite,
+    random_stream_events,
+    verify_stream_dir,
 )
 from repro.topologies import (
     ALGORITHMS,
@@ -205,10 +218,22 @@ __all__ = [
     "InterferenceServer",
     "LoadGenConfig",
     "LoadGenReport",
+    "RetryPolicy",
     "ServeClient",
     "ServeConfig",
     "ServeError",
+    "ServeRetryError",
     "run_loadgen",
+    # streaming engine (durable event sourcing)
+    "DurableStreamEngine",
+    "StreamConfig",
+    "StreamEngine",
+    "StreamEvent",
+    "WalCorruption",
+    "WriteAheadLog",
+    "chaos_suite",
+    "random_stream_events",
+    "verify_stream_dir",
     # observability
     "obs",
 ]

@@ -239,6 +239,97 @@ def _build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
         help="graceful-shutdown budget on SIGINT/SIGTERM",
     )
+    stream = sub.add_parser(
+        "stream",
+        help="durable event-sourced streaming engine: ingest, replay, "
+        "verify, chaos (see docs/STREAMING.md)",
+    )
+    ssub = stream.add_subparsers(dest="stream_command", required=True)
+
+    def _stream_workload_args(p, *, events_default):
+        p.add_argument(
+            "--events", type=int, default=events_default,
+            help="events in the seeded workload",
+        )
+        p.add_argument("--seed", type=int, default=0, help="workload seed")
+        p.add_argument(
+            "--capacity", type=int, default=512, help="node-universe size"
+        )
+        p.add_argument(
+            "--side", type=float, default=12.0, help="deployment square side"
+        )
+        p.add_argument(
+            "--r-max", type=float, default=1.0, help="coverage-radius bound"
+        )
+
+    ingest = ssub.add_parser(
+        "ingest",
+        help="create (or --resume) a durable stream directory and apply a "
+        "seeded event workload through the WAL",
+    )
+    ingest.add_argument(
+        "--dir", type=Path, required=True, help="stream directory"
+    )
+    _stream_workload_args(ingest, events_default=5000)
+    ingest.add_argument(
+        "--family", choices=("uniform", "clustered", "mobile"),
+        default="uniform", help="workload topology family",
+    )
+    ingest.add_argument(
+        "--snapshot-every", type=int, default=1000,
+        help="snapshot cadence in events (0 disables)",
+    )
+    ingest.add_argument(
+        "--fsync-every", type=int, default=64, help="WAL fsync batch size"
+    )
+    ingest.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip os.fsync (tmpfs / benchmark mode)",
+    )
+    ingest.add_argument(
+        "--rate", type=float, default=None, metavar="EVENTS_PER_S",
+        help="throttle ingest (chaos children use this so the kill point "
+        "is controllable)",
+    )
+    ingest.add_argument(
+        "--resume", action="store_true",
+        help="recover an existing directory and continue the same seeded "
+        "workload from the surviving seqno",
+    )
+    replay = ssub.add_parser(
+        "replay",
+        help="recover a stream directory (snapshot + tail replay) and "
+        "print what recovery found",
+    )
+    replay.add_argument("--dir", type=Path, required=True)
+    verify = ssub.add_parser(
+        "verify",
+        help="recover, then assert recovered state == full from-scratch "
+        "replay == independent recount (exit 1 on divergence, 2 on "
+        "detected WAL corruption)",
+    )
+    verify.add_argument("--dir", type=Path, required=True)
+    chaos = ssub.add_parser(
+        "chaos",
+        help="seeded kill/recover/resume suite; exit 1 unless every run "
+        "converges exactly",
+    )
+    chaos.add_argument(
+        "--dir", type=Path, default=None,
+        help="base directory for run artifacts (default: a temp dir; "
+        "failed runs are always left on disk for post-mortem)",
+    )
+    chaos.add_argument("--runs", type=int, default=20, help="chaos cycles")
+    _stream_workload_args(chaos, events_default=1000)
+    chaos.add_argument(
+        "--mode", choices=("inprocess", "subprocess"), default="inprocess",
+        help="inprocess: WAL-buffer-drop crashes; subprocess: real "
+        "SIGKILL of a CLI ingest child",
+    )
+    chaos.add_argument(
+        "--rate", type=float, default=None,
+        help="child ingest throttle (subprocess mode)",
+    )
     loadgen = sub.add_parser(
         "loadgen",
         help="drive a server with a seeded request stream; report "
@@ -435,6 +526,9 @@ def _main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         return _serve(args)
 
+    if args.command == "stream":
+        return _stream(args)
+
     if args.command == "loadgen":
         return _loadgen(args)
 
@@ -545,6 +639,151 @@ def _serve(args) -> int:
         )
 
     asyncio.run(_run())
+    return 0
+
+
+def _stream(args) -> int:
+    if args.stream_command == "ingest":
+        return _stream_ingest(args)
+    if args.stream_command == "replay":
+        return _stream_replay(args)
+    if args.stream_command == "verify":
+        return _stream_verify(args)
+    return _stream_chaos(args)
+
+
+def _stream_ingest(args) -> int:
+    import time
+
+    from repro.stream import (
+        DurableStreamEngine,
+        StreamConfig,
+        random_stream_events,
+    )
+
+    config = StreamConfig(
+        capacity=args.capacity,
+        r_max=args.r_max,
+        snapshot_every=args.snapshot_every,
+        fsync_every=args.fsync_every,
+        fsync=not args.no_fsync,
+    )
+    if (args.dir / "meta.json").exists():
+        if not args.resume:
+            print(
+                f"stream ingest: {args.dir} already exists (use --resume)",
+                file=sys.stderr,
+            )
+            return 1
+        engine = DurableStreamEngine.open(args.dir)
+        ri = engine.recovery
+        print(
+            f"stream ingest: resumed at seq {engine.last_seq} "
+            f"(snapshot {ri.snapshot_seq}, replayed "
+            f"{ri.replayed_from}..{ri.replayed_to}, "
+            f"torn tail: {ri.torn_bytes} bytes)"
+        )
+    else:
+        engine = DurableStreamEngine.create(args.dir, config)
+    events = random_stream_events(
+        args.events,
+        capacity=args.capacity,
+        side=args.side,
+        r_max=args.r_max,
+        seed=args.seed,
+        family=args.family,
+    )
+    todo = events[engine.last_seq :]
+    t0 = time.perf_counter()
+    done = 0
+    chunk = 256 if args.rate is None else max(1, min(256, int(args.rate / 50) or 1))
+    for i in range(0, len(todo), chunk):
+        engine.apply_batch(todo[i : i + chunk])
+        done += min(chunk, len(todo) - i)
+        if args.rate is not None:
+            target = t0 + done / args.rate
+            now = time.perf_counter()
+            if target > now:
+                time.sleep(target - now)
+    wall = time.perf_counter() - t0
+    engine.close()
+    eps = done / wall if wall > 0 else float("inf")
+    print(
+        f"stream ingest: {done} event(s) -> seq {engine.last_seq} "
+        f"in {wall:.3f}s ({eps:,.0f} events/s), "
+        f"{engine.engine.n_active} active node(s), "
+        f"digest {engine.engine.state_digest()[:16]}…"
+    )
+    return 0
+
+
+def _stream_replay(args) -> int:
+    from repro.stream import DurableStreamEngine
+
+    engine = DurableStreamEngine.open(args.dir)
+    ri = engine.recovery
+    replay_range = (
+        f"{ri.replayed_from}..{ri.replayed_to}" if ri.replayed_from else "(none)"
+    )
+    print(f"stream replay: {args.dir}")
+    print(f"  snapshot seq : {ri.snapshot_seq}")
+    print(f"  replayed seqs: {replay_range}  ({ri.wal_records} records in log)")
+    print(
+        f"  torn tail    : {ri.torn_bytes} bytes dropped"
+        if ri.torn_tail
+        else "  torn tail    : none"
+    )
+    if ri.snapshot_newer_than_log:
+        print("  WARNING: snapshot newer than log (external truncation?)")
+    print(
+        f"  state        : seq {engine.last_seq}, "
+        f"{engine.engine.n_active} active node(s), "
+        f"max interference {engine.engine.max_interference()}, "
+        f"digest {engine.engine.state_digest()[:16]}…"
+    )
+    engine.close()
+    return 0
+
+
+def _stream_verify(args) -> int:
+    from repro.stream import WalCorruption, render_verify_report, verify_stream_dir
+
+    try:
+        report = verify_stream_dir(args.dir)
+    except WalCorruption as exc:
+        print(f"stream verify: DETECTED CORRUPTION — {exc}", file=sys.stderr)
+        return 2
+    print(render_verify_report(report))
+    return 0 if report.ok else 1
+
+
+def _stream_chaos(args) -> int:
+    import tempfile
+
+    from repro.stream import chaos_suite, render_chaos_results
+
+    base = args.dir or Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    results = chaos_suite(
+        base,
+        args.runs,
+        seed=args.seed,
+        n_events=args.events,
+        capacity=args.capacity,
+        side=args.side,
+        r_max=args.r_max,
+        mode=args.mode,
+        rate=args.rate,
+    )
+    print(f"stream chaos: {args.mode} suite under {base}")
+    print(render_chaos_results(results))
+    bad = [r for r in results if not r.ok]
+    if bad:
+        for r in bad:
+            print(
+                f"  DIVERGENT run {r.run}: artifacts in {base / f'run-{r.run:03d}'}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 

@@ -36,6 +36,7 @@ from repro.experiments import (  # noqa: F401  (import for side effects)
     ablation_spacing,
     churn_resilience,
     opt_gap,
+    stream_consistency,
     diagnostics,
 )
 

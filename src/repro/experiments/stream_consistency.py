@@ -1,0 +1,101 @@
+"""Crash-consistency matrix for the durable streaming engine.
+
+Not a figure from the paper — it is the paper's robustness theorem run as
+an executable claim (ROADMAP item 1): per-event interference deltas are
+small and bounded, so an event-sourced engine can be killed at an
+arbitrary byte of its write-ahead log and recover, via snapshot +
+tail-replay, to a state *bit-identical* to a from-scratch recompute of
+the surviving event prefix.
+
+The experiment runs a seeded in-process chaos matrix — kill points drawn
+byte-uniform over the ingest via :class:`repro.faults.FaultPlan` (so
+mid-record torn tails occur), crossed with the three workload topology
+families — and reports, per run: the kill fraction, the surviving seqno,
+whether the tail was torn, and the three exactness checks
+(prefix-identical, counts-exact, resume-exact). The suite passes only if
+every run converges exactly with zero undetected corruptions.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.stream.chaos import chaos_suite
+
+
+@register(
+    "stream_consistency",
+    "Streaming engine: chaos-tested crash consistency (WAL + snapshot replay)",
+    "Thm. 3.1 made executable; ROADMAP item 1",
+)
+def stream_consistency(
+    *,
+    runs: int = 9,
+    n_events: int = 500,
+    capacity: int = 400,
+    side: float = 10.0,
+    r_max: float = 1.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Seeded kill/recover/resume matrix over the three topology families."""
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    with tempfile.TemporaryDirectory(prefix="repro-stream-chaos-") as tmp:
+        results = chaos_suite(
+            Path(tmp),
+            runs,
+            seed=seed,
+            n_events=n_events,
+            capacity=capacity,
+            side=side,
+            r_max=r_max,
+            mode="inprocess",
+        )
+    rows = [
+        [
+            r.run,
+            r.family,
+            r.crash_kind,
+            round(r.kill_fraction, 4),
+            r.survived_seq,
+            r.n_events,
+            r.torn_tail,
+            r.exact_prefix,
+            r.counts_exact,
+            r.resumed_exact,
+        ]
+        for r in results
+    ]
+    n_ok = sum(1 for r in results if r.ok)
+    n_torn = sum(1 for r in results if r.torn_tail)
+    return ExperimentResult(
+        experiment_id="stream_consistency",
+        title="Streaming engine crash consistency",
+        headers=[
+            "run", "family", "crash", "kill_fraction", "survived_seq",
+            "n_events", "torn_tail", "exact_prefix", "counts_exact",
+            "resumed_exact",
+        ],
+        rows=rows,
+        notes=[
+            f"{n_ok}/{len(results)} runs recovered bit-identically "
+            f"({n_torn} with mid-record torn tails); kill points are "
+            "byte-uniform over the WAL via FaultPlan seeding",
+            "exact_prefix: recovered state == from-scratch replay of the "
+            "surviving prefix; counts_exact: independent vectorized "
+            "recount matches; resumed_exact: finishing the stream "
+            "converges to the full-stream reference",
+        ],
+        data={
+            "seed": seed,
+            "runs": runs,
+            "n_events": n_events,
+            "all_exact": n_ok == len(results),
+            "divergences": len(results) - n_ok,
+            "detected_corruptions": sum(
+                1 for r in results if r.detected_corruption
+            ),
+        },
+    )

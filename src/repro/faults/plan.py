@@ -25,6 +25,7 @@ from repro.utils import as_generator
 #: Query tags keeping independent fault dimensions on independent streams.
 _TAG_LINK = 0
 _TAG_ACK = 1
+_TAG_CHAOS = 2
 
 #: Possible outcomes of :meth:`FaultPlan.link_outcome`.
 LINK_OUTCOMES = ("deliver", "drop", "duplicate", "delay")
@@ -134,6 +135,18 @@ class FaultPlan:
             return False
         rng = self._rng(_TAG_ACK, round_idx, attempt, sender, receiver)
         return bool(rng.random() < self.p_drop)
+
+    # -- chaos queries -----------------------------------------------------
+    def chaos_uniform(self, run: int, draw: int = 0) -> float:
+        """An order-independent U[0, 1) draw on the chaos stream.
+
+        The stream-engine chaos harness uses these to pick kill points
+        (run ``run``, draw index ``draw``) with the same replayability
+        contract as link faults: the value depends only on the plan seed
+        and the coordinates, never on prior draws.
+        """
+        rng = self._rng(_TAG_CHAOS, run, draw, 0, 0)
+        return float(rng.random())
 
     def __repr__(self) -> str:
         return (

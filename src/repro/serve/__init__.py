@@ -10,7 +10,12 @@ semantics are specified in ``docs/SERVING.md``; ``repro serve`` /
 ``repro loadgen`` are the CLI entry points.
 """
 
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import (
+    RetryPolicy,
+    ServeClient,
+    ServeError,
+    ServeRetryError,
+)
 from repro.serve.config import ServeConfig
 from repro.serve.handlers import GENERATORS, MEASURES, run_request
 from repro.serve.loadgen import (
@@ -23,6 +28,7 @@ from repro.serve.loadgen import (
 from repro.serve.protocol import (
     BATCHABLE_TYPES,
     ERROR_CODES,
+    IDEMPOTENT_TYPES,
     MAX_LINE_BYTES,
     REQUEST_TYPES,
     ProtocolError,
@@ -33,11 +39,13 @@ from repro.serve.protocol import (
     parse_request,
 )
 from repro.serve.server import InterferenceServer
+from repro.serve.stream import StreamService
 
 __all__ = [
     "BATCHABLE_TYPES",
     "ERROR_CODES",
     "GENERATORS",
+    "IDEMPOTENT_TYPES",
     "InterferenceServer",
     "LoadGenConfig",
     "LoadGenReport",
@@ -45,9 +53,12 @@ __all__ = [
     "MEASURES",
     "ProtocolError",
     "REQUEST_TYPES",
+    "RetryPolicy",
     "ServeClient",
     "ServeConfig",
     "ServeError",
+    "ServeRetryError",
+    "StreamService",
     "build_requests",
     "decode_message",
     "encode_message",

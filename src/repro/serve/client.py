@@ -19,15 +19,39 @@ Error responses raise :class:`ServeError` (``.code`` is one of the
 protocol's ``ERR_*`` constants); use :meth:`ServeClient.request_raw` to
 get the raw envelope instead — the load generator does, so it can count
 rejections without exception overhead.
+
+Retries
+-------
+Pass a :class:`RetryPolicy` to :meth:`ServeClient.connect` and
+:meth:`ServeClient.request` transparently retries *idempotent* request
+kinds (:data:`repro.serve.protocol.IDEMPOTENT_TYPES`) across transient
+connection failures — reconnecting, backing off exponentially with
+jitter, and raising :class:`ServeRetryError` (a ``ConnectionError``
+subclass carrying the attempt count and last cause) once the budget is
+exhausted. ``overloaded`` rejections are retried for *any* kind: the
+server rejects before executing, so re-sending cannot double-apply.
+Non-idempotent kinds (``stream_apply``, subscriptions) never retry on a
+connection error — the first send may have been applied.
+
+Push frames
+-----------
+Server-initiated frames carry ``"push"`` and no ``"id"`` key, so they
+never collide with response matching. The reader routes them to the
+per-subscription queue registered by :meth:`stream_subscribe` (unmatched
+pushes land in :attr:`ServeClient.pushes`).
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import random
+from dataclasses import dataclass
 
 from repro.serve.protocol import (
     ERR_INTERNAL,
+    ERR_OVERLOADED,
+    IDEMPOTENT_TYPES,
     MAX_LINE_BYTES,
     ProtocolError,
     decode_message,
@@ -45,6 +69,60 @@ class ServeError(RuntimeError):
         self.request_id = request_id
 
 
+class ServeRetryError(ConnectionError):
+    """Terminal failure after the retry budget is exhausted.
+
+    ``attempts`` is how many sends were tried; ``last`` is the final
+    underlying failure (a ``ConnectionError``/``OSError`` or a
+    :class:`ServeError` for retryable rejections).
+    """
+
+    def __init__(self, kind: str, attempts: int, last: BaseException):
+        super().__init__(
+            f"{kind!r} failed after {attempts} attempt(s); last error: {last!r}"
+        )
+        self.kind = kind
+        self.attempts = attempts
+        self.last = last
+
+
+@dataclass(frozen=True, kw_only=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter.
+
+    Attempt ``k`` (0-based) sleeps ``base_delay_s * multiplier**(k-1)``
+    before sending, clamped to ``max_delay_s``, then scaled by a uniform
+    factor in ``[1 - jitter, 1 + jitter]`` (seeded, so tests are
+    deterministic). ``attempts`` counts total sends, initial try
+    included.
+    """
+
+    attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must lie in [0, 1)")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before (1-based) retry ``attempt``."""
+        raw = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
 class ServeClient:
     """One pipelined client connection; see the module docstring."""
 
@@ -54,6 +132,14 @@ class ServeClient:
         self._pending: dict[object, asyncio.Future] = {}
         self._ids = itertools.count(1)
         self._closed = False
+        self._host: str | None = None
+        self._port: int | None = None
+        self._limit = MAX_LINE_BYTES
+        self._retry: RetryPolicy | None = None
+        self._rng = random.Random(0)
+        #: push frames with no registered subscription queue
+        self.pushes: asyncio.Queue = asyncio.Queue()
+        self._sub_queues: dict[object, asyncio.Queue] = {}
         self._reader_task = asyncio.create_task(
             self._read_loop(), name="serve-client-reader"
         )
@@ -62,9 +148,17 @@ class ServeClient:
     async def connect(
         cls, host: str = "127.0.0.1", port: int = 0, *,
         limit: int = MAX_LINE_BYTES,
+        retry: RetryPolicy | None = None,
     ) -> "ServeClient":
         reader, writer = await asyncio.open_connection(host, port, limit=limit)
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        client._host = host
+        client._port = port
+        client._limit = limit
+        client._retry = retry
+        if retry is not None:
+            client._rng = random.Random(retry.seed)
+        return client
 
     async def _read_loop(self) -> None:
         error: BaseException = ConnectionResetError("server closed the connection")
@@ -74,6 +168,10 @@ class ServeClient:
                 if not line:
                     break
                 message = decode_message(line)
+                if "id" not in message and "push" in message:
+                    queue = self._sub_queues.get(message.get("sub"), self.pushes)
+                    queue.put_nowait(message)
+                    continue
                 future = self._pending.pop(message.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(message)
@@ -87,6 +185,30 @@ class ServeClient:
                     )
             self._pending.clear()
 
+    async def _reconnect(self) -> None:
+        """Replace a dead connection (retry path; subscriptions do not
+        survive — the server drops them with the old connection)."""
+        if self._host is None:
+            raise ConnectionResetError(
+                "connection lost and client was not built via connect()"
+            )
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        self._sub_queues.clear()
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port, limit=self._limit
+        )
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name="serve-client-reader"
+        )
+
     async def request_raw(
         self, kind: str, params: dict | None = None, *,
         deadline_ms: float | None = None,
@@ -94,6 +216,10 @@ class ServeClient:
         """Send one request, await its raw response envelope (no raise)."""
         if self._closed:
             raise RuntimeError("client is closed")
+        if self._reader_task.done():
+            # reader already died: a send now would wait on a future
+            # nobody will ever resolve
+            raise ConnectionResetError("connection lost")
         req_id = next(self._ids)
         payload: dict = {"id": req_id, "type": kind}
         if params:
@@ -110,12 +236,8 @@ class ServeClient:
             await self._writer.drain()
         return await future
 
-    async def request(
-        self, kind: str, params: dict | None = None, *,
-        deadline_ms: float | None = None,
-    ) -> dict:
-        """Send one request; return its ``result`` or raise :class:`ServeError`."""
-        response = await self.request_raw(kind, params, deadline_ms=deadline_ms)
+    @staticmethod
+    def _unwrap(response: dict) -> dict:
         if response.get("ok"):
             return response["result"]
         err = response.get("error") or {}
@@ -124,6 +246,52 @@ class ServeClient:
             err.get("message", "unknown error"),
             request_id=response.get("id"),
         )
+
+    async def request(
+        self, kind: str, params: dict | None = None, *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Send one request; return its ``result`` or raise :class:`ServeError`.
+
+        With a :class:`RetryPolicy` configured, transient failures are
+        retried per the module docstring; the terminal failure is
+        :class:`ServeRetryError`.
+        """
+        policy = self._retry
+        if policy is None:
+            return self._unwrap(
+                await self.request_raw(kind, params, deadline_ms=deadline_ms)
+            )
+        last: BaseException | None = None
+        for attempt in range(policy.attempts):
+            if attempt:
+                await asyncio.sleep(policy.delay_s(attempt, self._rng))
+            try:
+                if self._reader_task.done():
+                    await self._reconnect()
+                response = await self.request_raw(
+                    kind, params, deadline_ms=deadline_ms
+                )
+            except (ConnectionError, OSError) as exc:
+                if kind not in IDEMPOTENT_TYPES:
+                    # the first send may have been applied server-side;
+                    # re-sending could double-apply, so surface it
+                    raise
+                last = exc
+                continue
+            if (
+                not response.get("ok")
+                and (response.get("error") or {}).get("code") == ERR_OVERLOADED
+            ):
+                # rejected before execution: safe to retry any kind
+                err = response["error"]
+                last = ServeError(
+                    err["code"], err.get("message", ""),
+                    request_id=response.get("id"),
+                )
+                continue
+            return self._unwrap(response)
+        raise ServeRetryError(kind, policy.attempts, last)
 
     # -- typed conveniences --------------------------------------------------
 
@@ -147,6 +315,58 @@ class ServeClient:
             {"experiment_id": experiment_id, "kwargs": kwargs},
             deadline_ms=deadline_ms,
         )
+
+    # -- stream lane ---------------------------------------------------------
+
+    async def stream_init(self, *, capacity: int, r_max: float, **params) -> dict:
+        return await self.request(
+            "stream_init", {"capacity": capacity, "r_max": r_max, **params}
+        )
+
+    async def stream_apply(
+        self, events, *, ack: str = "accepted",
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Submit events (dicts or objects with ``to_jsonable``)."""
+        payload = [
+            e.to_jsonable() if hasattr(e, "to_jsonable") else e for e in events
+        ]
+        return await self.request(
+            "stream_apply", {"events": payload, "ack": ack},
+            deadline_ms=deadline_ms,
+        )
+
+    async def stream_read(
+        self, *, max_lag: int = 0, node: int | None = None,
+        region=None, deadline_ms: float | None = None,
+    ) -> dict:
+        params: dict = {"max_lag": max_lag}
+        if node is not None:
+            params["node"] = node
+        if region is not None:
+            params["region"] = list(region)
+        return await self.request(
+            "stream_read", params, deadline_ms=deadline_ms
+        )
+
+    async def stream_subscribe(self, region) -> tuple[dict, asyncio.Queue]:
+        """Subscribe to per-region deltas.
+
+        Returns ``(result, queue)``: ``result`` holds the ``sub`` id and
+        the starting in-region snapshot; ``queue`` receives each
+        subsequent ``stream_delta`` push frame.
+        """
+        result = await self.request(
+            "stream_subscribe", {"region": list(region)}
+        )
+        queue: asyncio.Queue = asyncio.Queue()
+        self._sub_queues[result["sub"]] = queue
+        return result, queue
+
+    async def stream_unsubscribe(self, sub_id) -> dict:
+        result = await self.request("stream_unsubscribe", {"sub": sub_id})
+        self._sub_queues.pop(sub_id, None)
+        return result
 
     async def close(self) -> None:
         if self._closed:

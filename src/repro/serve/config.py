@@ -58,6 +58,16 @@ class ServeConfig:
         and in-flight work to finish before force-terminating the pool.
     max_line_bytes:
         Per-frame size limit (both directions).
+    stream_max_capacity:
+        Largest node universe a ``stream_init`` may allocate.
+    stream_max_apply:
+        Most events one ``stream_apply`` request may carry.
+    stream_max_subscriptions:
+        Concurrent region subscriptions across all connections.
+    stream_read_wait_s:
+        How long a bounded-staleness ``stream_read`` may wait for the
+        ingest lag to drop to its ``max_lag`` before answering
+        ``deadline_exceeded``.
     """
 
     host: str = "127.0.0.1"
@@ -73,6 +83,10 @@ class ServeConfig:
     opt_node_budget_cap: int = 200_000
     drain_timeout_s: float = 5.0
     max_line_bytes: int = MAX_LINE_BYTES
+    stream_max_capacity: int = 1_000_000
+    stream_max_apply: int = 10_000
+    stream_max_subscriptions: int = 64
+    stream_read_wait_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -97,6 +111,14 @@ class ServeConfig:
             raise ValueError("drain_timeout_s must be >= 0")
         if self.max_line_bytes < 1024:
             raise ValueError("max_line_bytes must be >= 1024")
+        if self.stream_max_capacity < 1:
+            raise ValueError("stream_max_capacity must be >= 1")
+        if self.stream_max_apply < 1:
+            raise ValueError("stream_max_apply must be >= 1")
+        if self.stream_max_subscriptions < 1:
+            raise ValueError("stream_max_subscriptions must be >= 1")
+        if self.stream_read_wait_s <= 0:
+            raise ValueError("stream_read_wait_s must be positive")
 
     @property
     def inflight_limit(self) -> int:

@@ -39,14 +39,41 @@ import json
 #: Upper bound on one framed message (request or response), in bytes.
 MAX_LINE_BYTES = 1_000_000
 
-#: The request types the server understands. ``ping`` is answered inline
-#: (no executor dispatch); the rest run on the worker pool.
-REQUEST_TYPES = ("ping", "interference", "build_topology", "opt", "experiment")
+#: The request types the server understands. ``ping`` and the
+#: ``stream_*`` kinds are answered inline on the event loop (the stream
+#: lane is stateful, so it can never run on the worker pool); the rest
+#: run on the worker pool.
+REQUEST_TYPES = (
+    "ping",
+    "interference",
+    "build_topology",
+    "opt",
+    "experiment",
+    "stream_init",
+    "stream_apply",
+    "stream_read",
+    "stream_subscribe",
+    "stream_unsubscribe",
+)
 
 #: Request types eligible for micro-batching (coalesced into one worker
 #: dispatch). Only small, uniform-cost requests benefit; everything else
 #: is dispatched individually.
 BATCHABLE_TYPES = ("interference",)
+
+#: Request kinds safe to retry after a connection failure: re-executing
+#: them cannot change server state. ``stream_apply`` is deliberately
+#: absent (a retried apply would double-apply events whose first send
+#: actually arrived), as are the subscription kinds (a retried subscribe
+#: would leak a subscription on the old connection).
+IDEMPOTENT_TYPES = (
+    "ping",
+    "interference",
+    "build_topology",
+    "opt",
+    "experiment",
+    "stream_read",
+)
 
 ERR_BAD_REQUEST = "bad_request"
 ERR_OVERLOADED = "overloaded"

@@ -47,12 +47,17 @@ from __future__ import annotations
 import asyncio
 import itertools
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 
 from repro import obs
 from repro.runner.pool import terminate_pool
 from repro.serve.config import ServeConfig
 from repro.serve.handlers import run_batch
+from repro.serve.stream import StreamService
 from repro.serve.protocol import (
     BATCHABLE_TYPES,
     ERR_BAD_REQUEST,
@@ -129,7 +134,9 @@ class InterferenceServer:
         self._draining = False
         self._connections: set[asyncio.StreamWriter] = set()
         self._lane_counter = itertools.count()
+        self._stream = StreamService(self.config, self._write)
         self._stats = {
+            "pool_respawns": 0,
             "accepted": 0,
             "completed": 0,
             "pings": 0,
@@ -179,6 +186,8 @@ class InterferenceServer:
         out = dict(self._stats)
         out["queue_depth"] = len(self._queue)
         out["inflight_batches"] = self._inflight
+        out.update(self._stream.stats)
+        out["stream_lag"] = self._stream.lag
         return out
 
     async def stop(self, *, drain: bool | None = None) -> None:
@@ -191,6 +200,7 @@ class InterferenceServer:
         if drain is None:
             drain = True
         self._draining = True
+        await self._stream.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -279,6 +289,14 @@ class InterferenceServer:
                                     ms=(loop.time() - admitted_at) * 1e3),
                     )
                     continue
+                if kind.startswith("stream_"):
+                    # stateful lane: handled inline on the event loop,
+                    # never queued for the (stateless) worker pool
+                    response = await self._stream.handle(
+                        kind, req_id, params, writer, wlock, t0=admitted_at
+                    )
+                    await self._write(writer, wlock, response)
+                    continue
                 rejection = self._admission_error(req_id)
                 if rejection is not None:
                     await self._write(writer, wlock, rejection)
@@ -296,6 +314,7 @@ class InterferenceServer:
             # Disconnection cancels this client's queued work: the
             # dispatcher skips abandoned requests instead of computing
             # results nobody will read.
+            self._stream.drop_connection(writer)
             for pending in owned:
                 pending.abandoned = True
             for task in tasks:
@@ -395,6 +414,29 @@ class InterferenceServer:
         pending.future.set_result(
             error_response(pending.req_id, code, message, ms=ms)
         )
+
+    async def _respawn_pool(self, broken) -> None:
+        """Replace a broken executor (guarded so concurrent failing
+        batches respawn once, not once each)."""
+        if self._executor is not broken or self._draining:
+            return
+        cfg = self.config
+        if cfg.executor == "process":
+            fresh = ProcessPoolExecutor(max_workers=cfg.workers)
+        else:  # pragma: no cover - threads don't raise BrokenExecutor
+            fresh = ThreadPoolExecutor(max_workers=cfg.workers)
+        self._executor = fresh
+        self._stats["pool_respawns"] += 1
+        obs.count("serve.pool.respawns")
+        # tear the corpse down off-loop; terminate_pool joins processes
+        await asyncio.to_thread(terminate_pool, broken)
+        if cfg.executor == "process":
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    fresh, run_batch, "ping", []
+                )
+            except Exception:  # pragma: no cover - warm-up is best effort
+                pass
 
     # -- dispatcher ---------------------------------------------------------
 
@@ -503,15 +545,21 @@ class InterferenceServer:
         try:
             payloads = [self._prepare_params(p) for p in batch]
             t0 = loop.time()
+            executor = self._executor
             try:
                 items = await loop.run_in_executor(
-                    self._executor, run_batch, kind, payloads
+                    executor, run_batch, kind, payloads
                 )
             except Exception as exc:  # pool death, pickling failure, ...
                 for pending in batch:
                     self._resolve_error(
                         pending, ERR_INTERNAL, f"dispatch failed: {exc!r}"
                     )
+                if isinstance(exc, BrokenExecutor):
+                    # a killed worker poisons the whole pool: every later
+                    # dispatch would fail too. Replace it so one worker
+                    # death costs one batch, not the server.
+                    await self._respawn_pool(executor)
                 return
             wall = loop.time() - t0
             self._stats["batches"] += 1

@@ -1,0 +1,378 @@
+"""Chaos harness: kill the engine mid-ingest, recover, prove exact state.
+
+The robustness claim made executable. Each run:
+
+1. generates a seeded event stream (a pure function of ``(seed, run)``,
+   so the reference state is recomputable from the seed alone);
+2. picks a **kill point uniformly in WAL *bytes*** via
+   :meth:`repro.faults.FaultPlan.chaos_uniform` — byte-uniform means kill
+   points land *inside* records, not just between them;
+3. ingests until the WAL reaches the kill point, then crashes the engine
+   there — either in-process (``WriteAheadLog.abort`` drops the userspace
+   buffer, the SIGKILL-between-fsyncs signature) or as a real subprocess
+   killed with ``SIGKILL``. The WAL is then truncated to the *exact* kill
+   byte, so mid-record torn tails occur by construction;
+4. recovers (snapshot + tail replay) and checks the recovered state is
+   **bit-identical** to a from-scratch replay of the surviving event
+   prefix, and that recovered counts equal an independent vectorized
+   recount (exact integer equality, no tolerance);
+5. resumes ingest from the surviving seqno through the end of the stream
+   and checks convergence to the full-stream reference state.
+
+Any :class:`~repro.stream.wal.WalCorruption` during recovery is a
+*detected* corruption; the harness never manufactures one, so in a suite
+both divergences and detected corruptions must be zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import obs
+from repro.faults.plan import FaultPlan
+from repro.stream.config import StreamConfig
+from repro.stream.durable import DurableStreamEngine
+from repro.stream.engine import StreamEngine
+from repro.stream.events import EVENT_FAMILIES, random_stream_events
+from repro.stream.wal import WalCorruption, frame_record, scan_wal
+
+__all__ = [
+    "ChaosRunResult",
+    "chaos_run",
+    "chaos_suite",
+    "render_chaos_results",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosRunResult:
+    """Outcome of one kill/recover/resume cycle."""
+
+    run: int
+    family: str
+    mode: str
+    #: "abort" (buffered-loss crash) or "torn" (exact-byte mid-record crash)
+    crash_kind: str
+    kill_fraction: float
+    target_bytes: int
+    total_bytes: int
+    #: seqno of the last event that survived the crash
+    survived_seq: int
+    n_events: int
+    torn_tail: bool
+    #: recovered state bit-identical to from-scratch replay of the prefix
+    exact_prefix: bool
+    #: recovered counts equal the independent vectorized recount
+    counts_exact: bool
+    #: after resuming the remaining events, state matches the full reference
+    resumed_exact: bool
+    #: a WalCorruption was raised during recovery (harness never makes one)
+    detected_corruption: bool
+    recovered_digest: str
+    reference_digest: str
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.exact_prefix
+            and self.counts_exact
+            and self.resumed_exact
+            and not self.detected_corruption
+        )
+
+    def to_jsonable(self) -> dict:
+        out = {
+            k: getattr(self, k)
+            for k in self.__dataclass_fields__  # type: ignore[attr-defined]
+        }
+        out["ok"] = self.ok
+        return out
+
+
+def expected_wal_bytes(events) -> int:
+    """Total WAL bytes a clean ingest of ``events`` produces (the framing
+    is deterministic, so this is exact)."""
+    total = 0
+    for seq, ev in enumerate(events, start=1):
+        total += len(frame_record(ev.wal_payload(seq)))
+    return total
+
+
+def _chaos_config(capacity: int, r_max: float, n_events: int) -> StreamConfig:
+    # frequent flushes so the on-disk WAL tracks ingest closely, and a
+    # snapshot cadence that makes most kill points land *after* at least
+    # one snapshot (exercising snapshot + tail replay, not just replay)
+    return StreamConfig(
+        capacity=capacity,
+        r_max=r_max,
+        snapshot_every=max(32, n_events // 5),
+        fsync_every=4,
+        fsync=False,
+    )
+
+
+def ingest_command(
+    directory: str | Path,
+    *,
+    n_events: int,
+    seed: int,
+    capacity: int,
+    side: float,
+    r_max: float,
+    family: str,
+    config: StreamConfig,
+    rate: float | None = None,
+    resume: bool = False,
+) -> list[str]:
+    """The ``repro stream ingest`` argv for a chaos child process."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "stream",
+        "ingest",
+        "--dir",
+        str(directory),
+        "--events",
+        str(n_events),
+        "--seed",
+        str(seed),
+        "--capacity",
+        str(capacity),
+        "--side",
+        str(side),
+        "--r-max",
+        str(r_max),
+        "--family",
+        family,
+        "--snapshot-every",
+        str(config.snapshot_every),
+        "--fsync-every",
+        str(config.fsync_every),
+    ]
+    if not config.fsync:
+        cmd.append("--no-fsync")
+    if rate:
+        cmd += ["--rate", str(rate)]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def chaos_run(
+    directory: str | Path,
+    run: int,
+    *,
+    seed: int = 0,
+    n_events: int = 1000,
+    capacity: int = 512,
+    side: float = 12.0,
+    r_max: float = 1.0,
+    family: str | None = None,
+    mode: str = "inprocess",
+    rate: float | None = None,
+) -> ChaosRunResult:
+    """One seeded kill/recover/resume cycle in ``directory`` (fresh dir)."""
+    if mode not in ("inprocess", "subprocess"):
+        raise ValueError(f"unknown chaos mode {mode!r}")
+    directory = Path(directory)
+    if family is None:
+        family = EVENT_FAMILIES[run % len(EVENT_FAMILIES)]
+    plan = FaultPlan(seed=seed)
+    kill_fraction = plan.chaos_uniform(run, 0)
+    # two crash signatures, both drawn from the plan: "abort" loses the
+    # userspace buffer (tail ends on a record boundary, like a SIGKILL
+    # between flushes); "torn" lands the crash on the exact chosen byte,
+    # splitting a frame mid-record whenever the byte falls inside one
+    crash_kind = "abort" if plan.chaos_uniform(run, 1) < 0.5 else "torn"
+
+    # one scalar per-run workload seed, shared with the subprocess child
+    # (which can only receive a scalar on its argv)
+    import numpy as np
+
+    workload_seed = int(np.random.SeedSequence([seed, run]).generate_state(1)[0])
+    events = random_stream_events(
+        n_events,
+        capacity=capacity,
+        side=side,
+        r_max=r_max,
+        seed=workload_seed,
+        family=family,
+    )
+    total_bytes = expected_wal_bytes(events)
+    target_bytes = max(1, int(kill_fraction * total_bytes))
+    config = _chaos_config(capacity, r_max, n_events)
+    wal_path = directory / "wal.jsonl"
+
+    with obs.span(
+        "stream.chaos.run", run=run, family=family, mode=mode
+    ):
+        if mode == "inprocess":
+            engine = DurableStreamEngine.create(directory, config)
+            written = 0
+            for seq, ev in enumerate(events, start=1):
+                engine.apply(ev, collect=False)
+                written += len(frame_record(ev.wal_payload(seq)))
+                if written >= target_bytes:
+                    break
+            if crash_kind == "abort":
+                engine.abort()
+            else:
+                engine._wal.flush()
+                engine.abort()
+        else:
+            cmd = ingest_command(
+                directory,
+                n_events=n_events,
+                seed=workload_seed,
+                capacity=capacity,
+                side=side,
+                r_max=r_max,
+                family=family,
+                config=config,
+                rate=rate,
+            )
+            env = dict(os.environ)
+            src = str(Path(__file__).resolve().parents[2])
+            env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+            child = subprocess.Popen(
+                cmd, env=env,
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            try:
+                deadline = time.monotonic() + 120.0
+                while time.monotonic() < deadline:
+                    if wal_path.exists() and wal_path.stat().st_size >= target_bytes:
+                        break
+                    if child.poll() is not None:
+                        break
+                    time.sleep(0.002)
+                if child.poll() is None:
+                    os.kill(child.pid, signal.SIGKILL)
+            finally:
+                child.wait(timeout=30.0)
+
+        # "torn" crashes land on the exact chosen byte: everything past it
+        # is treated as never having reached the disk, so mid-record torn
+        # tails happen by construction whenever target_bytes splits a frame
+        if (
+            crash_kind == "torn"
+            and wal_path.exists()
+            and wal_path.stat().st_size > target_bytes
+        ):
+            os.truncate(wal_path, target_bytes)
+
+        detected_corruption = False
+        try:
+            recovered = DurableStreamEngine.open(directory)
+        except WalCorruption:
+            obs.count("stream.chaos.detected_corruptions")
+            return ChaosRunResult(
+                run=run, family=family, mode=mode, crash_kind=crash_kind,
+                kill_fraction=kill_fraction, target_bytes=target_bytes,
+                total_bytes=total_bytes, survived_seq=0, n_events=n_events,
+                torn_tail=False, exact_prefix=False, counts_exact=False,
+                resumed_exact=False, detected_corruption=True,
+                recovered_digest="", reference_digest="",
+            )
+
+        survived = recovered.engine.seq
+        torn = recovered.recovery.torn_tail
+        recovered_digest = recovered.engine.state_digest()
+
+        reference = StreamEngine(config)
+        reference.apply_batch(events[:survived])
+        reference_digest = reference.state_digest()
+        exact_prefix = recovered_digest == reference_digest
+
+        counts_exact = bool(
+            (
+                recovered.engine.recompute_counts()
+                == recovered.engine.node_interference()
+            ).all()
+        )
+
+        # resume: finish the stream on the recovered engine and check
+        # convergence to the full-stream reference
+        recovered.apply_batch(events[survived:])
+        reference.apply_batch(events[survived:])
+        resumed_exact = (
+            recovered.engine.state_digest() == reference.state_digest()
+        )
+        recovered.close()
+
+    result = ChaosRunResult(
+        run=run, family=family, mode=mode, crash_kind=crash_kind,
+        kill_fraction=kill_fraction, target_bytes=target_bytes,
+        total_bytes=total_bytes, survived_seq=survived, n_events=n_events,
+        torn_tail=torn, exact_prefix=exact_prefix, counts_exact=counts_exact,
+        resumed_exact=resumed_exact, detected_corruption=detected_corruption,
+        recovered_digest=recovered_digest, reference_digest=reference_digest,
+    )
+    obs.count("stream.chaos.runs")
+    if not result.ok:
+        obs.count("stream.chaos.divergences")
+    return result
+
+
+def chaos_suite(
+    base_dir: str | Path,
+    runs: int,
+    *,
+    seed: int = 0,
+    n_events: int = 1000,
+    capacity: int = 512,
+    side: float = 12.0,
+    r_max: float = 1.0,
+    mode: str = "inprocess",
+    rate: float | None = None,
+) -> list[ChaosRunResult]:
+    """``runs`` independent chaos cycles under ``base_dir`` (one subdir
+    each, left on disk for post-mortem when a run fails)."""
+    base_dir = Path(base_dir)
+    results = []
+    for run in range(runs):
+        results.append(
+            chaos_run(
+                base_dir / f"run-{run:03d}",
+                run,
+                seed=seed,
+                n_events=n_events,
+                capacity=capacity,
+                side=side,
+                r_max=r_max,
+                mode=mode,
+                rate=rate,
+            )
+        )
+    return results
+
+
+def render_chaos_results(results: list[ChaosRunResult]) -> str:
+    lines = [
+        "run  family     crash  kill%   survived    torn  prefix  counts  resume",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.run:>3}  {r.family:<9} {r.crash_kind:<5} "
+            f"{100 * r.kill_fraction:>5.1f}%"
+            f"  {r.survived_seq:>5}/{r.n_events:<5}"
+            f"  {'yes' if r.torn_tail else ' no'}"
+            f"  {'  ok' if r.exact_prefix else 'FAIL'}"
+            f"    {'  ok' if r.counts_exact else 'FAIL'}"
+            f"  {'  ok' if r.resumed_exact else 'FAIL'}"
+            + ("  CORRUPTION" if r.detected_corruption else "")
+        )
+    bad = sum(1 for r in results if not r.ok)
+    lines.append(
+        f"{len(results)} runs: "
+        + ("all exact" if bad == 0 else f"{bad} DIVERGENT")
+    )
+    return "\n".join(lines)

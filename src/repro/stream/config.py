@@ -1,0 +1,83 @@
+"""Stream-engine options — one frozen keyword-only dataclass.
+
+The same discipline as :class:`repro.opt.OptConfig` and
+:class:`repro.serve.ServeConfig`: every knob is named, a misspelled
+keyword raises ``TypeError`` at construction, and instances are frozen so
+one config can parameterize an engine, be persisted into a stream
+directory's meta file, and be asserted on in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, kw_only=True)
+class StreamConfig:
+    """Options for :class:`repro.stream.StreamEngine` and its durable wrapper.
+
+    Parameters
+    ----------
+    capacity:
+        Size of the node universe; event ``node`` ids live in
+        ``[0, capacity)``. Like the churn engine, the universe is
+        pre-allocated so every event is an O(neighbourhood) update, never
+        an O(n^2) rebuild.
+    r_max:
+        Upper bound on any node's coverage radius; the spatial-hash cell
+        size derives from it. Bounded radii are what make per-event work
+        O(1): a join/leave/move only perturbs interference inside one
+        disk of radius <= ``r_max``, so a small constant block of cells
+        always covers the delta (cf. Korman's
+        bounded-communication-radius formulation, PAPERS.md).
+    snapshot_every:
+        Durable engines write a full-state snapshot every this many
+        applied events (0 disables periodic snapshots). Recovery replays
+        at most this many WAL records, so the snapshot interval bounds
+        recovery time.
+    fsync_every:
+        WAL fsync batching: flush + fsync after this many appended
+        records. Smaller values shrink the crash-loss window at the cost
+        of throughput.
+    fsync:
+        ``False`` skips ``os.fsync`` entirely (flushes still bound the
+        userspace buffer). Tests and benchmarks on tmpfs use this; any
+        real deployment should leave it on.
+    keep_snapshots:
+        Retain this many most-recent snapshot files; older ones are
+        deleted after each successful snapshot. At least 2, so a crash
+        mid-snapshot always leaves a valid predecessor.
+    """
+
+    capacity: int
+    r_max: float
+    snapshot_every: int = 10_000
+    fsync_every: int = 256
+    fsync: bool = True
+    keep_snapshots: int = 2
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not self.r_max > 0:
+            raise ValueError("r_max must be positive")
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0 (0 disables)")
+        if self.fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
+        if self.keep_snapshots < 2:
+            raise ValueError("keep_snapshots must be >= 2")
+
+    def to_jsonable(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "r_max": self.r_max,
+            "snapshot_every": self.snapshot_every,
+            "fsync_every": self.fsync_every,
+            "fsync": self.fsync,
+            "keep_snapshots": self.keep_snapshots,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "StreamConfig":
+        return cls(**payload)

@@ -1,0 +1,340 @@
+"""Durable wrapper: WAL + periodic snapshots + snapshot/tail-replay recovery.
+
+A *stream directory* is the unit of durability::
+
+    <dir>/meta.json            engine StreamConfig (written once at create)
+    <dir>/wal.jsonl            append-only event log (repro.stream.wal framing)
+    <dir>/snapshot-<seq>.json  periodic full-state snapshots (newest wins)
+
+Write path: each event is applied to the in-memory engine (which rejects
+invalid events before anything is persisted), then appended to the WAL as
+a compact JSON row ``[seq, kind, node, x, y, r]`` (absent fields dropped
+from the tail; see :meth:`StreamEvent.wal_payload`). Sequence numbers are
+assigned by the engine
+and are contiguous from 1, so the WAL *is* the state: replaying it from
+scratch reproduces the engine bit-identically (the property
+:mod:`repro.stream.verify` asserts).
+
+Recovery: scan the WAL's verified prefix (raising
+:class:`~repro.stream.wal.WalCorruption` on a corrupt interior record),
+truncate a torn tail, load the newest snapshot that verifies, and replay
+only the records past its seqno. A snapshot newer than the log can only
+arise from external interference (the WAL is fsynced before every
+snapshot) — it is tolerated, with the snapshot taken as authoritative and
+the condition flagged in :class:`RecoveryInfo`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from binascii import hexlify
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import obs
+from repro.stream.config import StreamConfig
+from repro.stream.engine import AppliedEvent, StreamEngine
+from repro.stream.events import StreamEvent
+from repro.stream.snapshot import (
+    latest_snapshot,
+    prune_snapshots,
+    write_snapshot,
+)
+from repro.stream.wal import FRAME_FMT, WriteAheadLog, scan_wal
+
+__all__ = ["DurableStreamEngine", "RecoveryInfo"]
+
+WAL_NAME = "wal.jsonl"
+META_NAME = "meta.json"
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryInfo:
+    """What recovery found and did (attached to an opened engine)."""
+
+    #: seqno of the snapshot recovery started from (0 = none, full replay)
+    snapshot_seq: int
+    #: first/last replayed WAL seqno (both 0 when nothing was replayed)
+    replayed_from: int
+    replayed_to: int
+    #: total verified records in the WAL
+    wal_records: int
+    #: the WAL ended in an incomplete frame (crash signature), since truncated
+    torn_tail: bool
+    #: bytes of torn tail dropped
+    torn_bytes: int
+    #: newest valid snapshot was ahead of the log (external truncation)
+    snapshot_newer_than_log: bool
+
+    def to_jsonable(self) -> dict:
+        return {
+            "snapshot_seq": self.snapshot_seq,
+            "replayed_from": self.replayed_from,
+            "replayed_to": self.replayed_to,
+            "wal_records": self.wal_records,
+            "torn_tail": self.torn_tail,
+            "torn_bytes": self.torn_bytes,
+            "snapshot_newer_than_log": self.snapshot_newer_than_log,
+        }
+
+
+class DurableStreamEngine:
+    """A :class:`StreamEngine` whose every event survives a crash.
+
+    Construct via :meth:`create` (new stream directory) or :meth:`open`
+    (recover an existing one); the constructor itself is internal.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        config: StreamConfig,
+        engine: StreamEngine,
+        wal: WriteAheadLog,
+        recovery: RecoveryInfo | None,
+    ):
+        self.directory = directory
+        self.config = config
+        self.engine = engine
+        self._wal = wal
+        #: recovery report when this instance came from :meth:`open`
+        self.recovery = recovery
+        self._since_snapshot = (
+            engine.seq - recovery.snapshot_seq if recovery else 0
+        )
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, directory: str | Path, config: StreamConfig
+    ) -> "DurableStreamEngine":
+        """Initialize a fresh stream directory (must not already be one)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = directory / META_NAME
+        if meta.exists() or (directory / WAL_NAME).exists():
+            raise FileExistsError(
+                f"{directory} already holds a stream (use open())"
+            )
+        meta.write_text(
+            json.dumps({"format": 1, "config": config.to_jsonable()}, indent=2)
+            + "\n"
+        )
+        wal = WriteAheadLog(
+            directory / WAL_NAME,
+            fsync_every=config.fsync_every,
+            fsync=config.fsync,
+        )
+        return cls(directory, config, StreamEngine(config), wal, None)
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "DurableStreamEngine":
+        """Recover an existing stream directory (snapshot + tail replay)."""
+        directory = Path(directory)
+        meta = directory / META_NAME
+        if not meta.exists():
+            raise FileNotFoundError(f"{directory} is not a stream directory")
+        config = StreamConfig.from_jsonable(
+            json.loads(meta.read_text())["config"]
+        )
+        with obs.span("stream.recover", dir=str(directory)):
+            scan = scan_wal(directory / WAL_NAME)
+            if scan.torn_tail:
+                # drop the incomplete frame so the appender resumes cleanly
+                os.truncate(directory / WAL_NAME, scan.valid_bytes)
+                obs.count("stream.recover.torn_tails")
+
+            snap = latest_snapshot(directory)
+            snap_seq = snap[0] if snap else 0
+            newer = snap_seq > scan.last_seq
+            if snap and (newer or snap_seq >= scan.first_seq - 1):
+                engine = StreamEngine.from_state(
+                    config, json.loads(snap[1])
+                )
+            else:
+                engine, snap_seq = StreamEngine(config), 0
+
+            replayed_from = replayed_to = 0
+            tail: list[tuple[int, StreamEvent]] = []
+            contiguous = True
+            for rec in scan.records:
+                seq, event = StreamEvent.from_wal_record(rec)
+                if seq <= snap_seq:
+                    continue
+                if replayed_from == 0:
+                    replayed_from = seq
+                elif seq != replayed_to + 1:
+                    contiguous = False
+                replayed_to = seq
+                tail.append((seq, event))
+            if contiguous and (not tail or replayed_from == engine.seq + 1):
+                # our own writer always produces this shape; bulk replay
+                # assigns the same seqnos and is ~2x faster than the
+                # per-event path (recovery wall time is a reported metric)
+                engine.apply_many([event for _, event in tail])
+            else:
+                # externally produced logs may skip or repeat seqnos;
+                # replay them one by one under explicit seq validation
+                for seq, event in tail:
+                    engine.apply(event, seq=seq, collect=False)
+            obs.count("stream.recover.replayed", replayed_to - replayed_from + 1 if replayed_from else 0)
+
+        info = RecoveryInfo(
+            snapshot_seq=snap_seq,
+            replayed_from=replayed_from,
+            replayed_to=replayed_to,
+            wal_records=len(scan.records),
+            torn_tail=scan.torn_tail,
+            torn_bytes=scan.torn_bytes,
+            snapshot_newer_than_log=newer,
+        )
+        wal = WriteAheadLog(
+            directory / WAL_NAME,
+            fsync_every=config.fsync_every,
+            fsync=config.fsync,
+        )
+        return cls(directory, config, engine, wal, info)
+
+    def close(self) -> None:
+        """Flush, fsync and close the WAL (state remains recoverable)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._wal.flush(force_fsync=self.config.fsync)
+        self._wal.close()
+
+    def abort(self) -> None:
+        """Crash hook: drop buffered WAL bytes and stop (see WAL.abort)."""
+        self._closed = True
+        self._wal.abort()
+
+    def __enter__(self) -> "DurableStreamEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- write path --------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        return self.engine.seq
+
+    def apply(self, event: StreamEvent, *, collect: bool = True) -> AppliedEvent:
+        """Apply one event and append it to the WAL; maybe snapshot."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        applied = self.engine.apply(event, collect=collect)
+        self._wal.append_payload(event.wal_payload(applied.seq))
+        self._since_snapshot += 1
+        every = self.config.snapshot_every
+        if every and self._since_snapshot >= every:
+            self.snapshot_now()
+        return applied
+
+    def apply_batch(
+        self, events, *, collect: bool = False
+    ) -> list[AppliedEvent] | int:
+        """Apply events in order.
+
+        With ``collect`` (delta consumers), per-event
+        :class:`AppliedEvent` results are returned. Without it — the hot
+        ingest path — the loop skips every per-event object allocation
+        and returns the event count; an event rejected mid-batch leaves
+        its applied prefix in the WAL, exactly like the slow path.
+        """
+        if collect:
+            out = [self.apply(e, collect=True) for e in events]
+            obs.count("stream.events", len(out))
+            return out
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        events = list(events)
+        engine = self.engine
+        wal = self._wal
+        sha = hashlib.sha256
+        hexl = hexlify
+        every = self.config.snapshot_every
+        # chunks never exceed fsync_every, so batched appends keep the
+        # same per-record crash-loss bound as the one-at-a-time path
+        chunk_max = max(1, min(4096, wal.fsync_every))
+        i = 0
+        n = len(events)
+        done = 0
+        try:
+            while i < n:
+                take = chunk_max
+                if every:
+                    # cut chunks at the snapshot boundary so snapshots
+                    # land on the same seqnos as the one-event path
+                    # (recovery can start past the cadence: take >= 1)
+                    take = min(take, max(1, every - self._since_snapshot))
+                chunk = events[i : i + take]
+                start = engine.seq
+                try:
+                    engine.apply_many(chunk)
+                finally:
+                    # serialize + frame in one pass, and only the applied
+                    # prefix: on a mid-chunk rejection the WAL holds
+                    # exactly what the one-event path would have written
+                    applied = engine.seq - start
+                    if applied:
+                        frames = []
+                        ap = frames.append
+                        seq = start
+                        for j in range(applied):
+                            # StreamEvent.wal_payload, inlined: the row
+                            # f-string is the hottest serialization site
+                            # and the method call alone is measurable here
+                            ev = chunk[j]
+                            seq += 1
+                            kind, node, x = ev.kind, ev.node, ev.x
+                            if x is None:
+                                p = f'[{seq},"{kind}",{node}]'
+                            elif ev.r is None:
+                                p = (
+                                    f'[{seq},"{kind}",{node}'
+                                    f',{x!r},{ev.y!r}]'
+                                )
+                            else:
+                                p = (
+                                    f'[{seq},"{kind}",{node}'
+                                    f',{x!r},{ev.y!r},{ev.r!r}]'
+                                )
+                            data = p.encode()
+                            ap(
+                                FRAME_FMT
+                                % (len(data), hexl(sha(data).digest()), data)
+                            )
+                        wal.append_framed(b"".join(frames), applied)
+                        self._since_snapshot += applied
+                        done += applied
+                if every and self._since_snapshot >= every:
+                    self.snapshot_now()
+                i += len(chunk)
+        finally:
+            obs.count("stream.events", done)
+        return done
+
+    def flush(self) -> None:
+        """Make everything applied so far durable right now."""
+        self._wal.flush(force_fsync=self.config.fsync)
+
+    def snapshot_now(self) -> Path:
+        """Write a snapshot at the current seqno (WAL is fsynced first, so
+        a snapshot can never be ahead of the durable log)."""
+        self._wal.flush(force_fsync=True)
+        with obs.span("stream.snapshot", seq=self.engine.seq):
+            path = write_snapshot(
+                self.directory,
+                self.engine.seq,
+                self.engine.state_json(),
+                fsync=self.config.fsync,
+            )
+        prune_snapshots(self.directory, self.config.keep_snapshots)
+        self._since_snapshot = 0
+        return path

@@ -1,0 +1,685 @@
+"""Event-sourced incremental interference engine over a node universe.
+
+The paper's robustness theorem (one join changes any receiver's
+interference by at most +1, Fig. 1) is the contract that makes an
+event-sourced engine viable: every event induces a *small, bounded,
+incrementally applicable* delta. :class:`StreamEngine` maintains the
+receiver-centric coverage counts ``I(v)`` under ``join``/``leave``/
+``move`` events in O(neighbourhood) per event:
+
+- positions, radii and counts live in flat per-node arrays over a
+  pre-allocated universe of ``config.capacity`` ids;
+- a uniform spatial hash with cell size ``3 * config.r_max`` indexes
+  the active nodes. Because every radius is bounded by ``r_max``, both
+  directions of an event's delta (who the node now covers, who covers
+  the node) are confined to the cells overlapping a ``±r_max`` window
+  around it — at this cell size a 1x1 or 2x2 block, which cuts the
+  per-event probe count (cell lookups) to roughly a third of the
+  classic cell-size-``r_max`` 3x3 scan while probing the same area.
+  This is the O(1)-neighbourhood argument of Korman's bounded-radius
+  formulation;
+- coverage uses *exact* squared-distance comparison (``dx*dx + dy*dy <=
+  r*r``, no tolerance): determinism is the point, since recovery must
+  replay to a bit-identical state. :func:`recompute_counts` reproduces
+  the same arithmetic vectorized, so an independent from-scratch recount
+  agrees exactly, not approximately.
+
+The engine is deliberately free of any I/O; durability (WAL, snapshots,
+recovery) wraps it in :mod:`repro.stream.durable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.stream.config import StreamConfig
+from repro.stream.events import StreamEvent
+
+__all__ = ["AppliedEvent", "StreamEngine", "StreamStateError"]
+
+
+class StreamStateError(ValueError):
+    """An event that is invalid against the current engine state
+    (join of an active node, leave/move of an inactive one, id out of
+    range, radius above ``r_max``)."""
+
+
+@dataclass(frozen=True, slots=True)
+class AppliedEvent:
+    """Result of applying one event.
+
+    ``changed`` lists ``(node, new_count)`` for every *active* node whose
+    interference changed (for a join this includes the joining node's own
+    fresh count; a departed node is not listed — it no longer has an
+    interference value). ``None`` when the engine was asked not to
+    collect deltas (the hot-ingest path).
+    """
+
+    seq: int
+    event: StreamEvent
+    changed: tuple[tuple[int, int], ...] | None
+
+
+_GRID_STRIDE = 1 << 32
+
+
+class StreamEngine:
+    """Incremental receiver-centric interference over a mutable node set."""
+
+    def __init__(self, config: StreamConfig):
+        self.config = config
+        cap = config.capacity
+        self.xs = [0.0] * cap
+        self.ys = [0.0] * cap
+        self.rs = [0.0] * cap
+        self.active = bytearray(cap)
+        self.counts = [0] * cap
+        self.n_active = 0
+        self.seq = 0
+        self._cell = 3.0 * float(config.r_max)
+        # keys come from int(coord * _inv): one multiply instead of a
+        # float floor-division per axis. int() truncates while // floors,
+        # but the key function only has to be monotone and consistent —
+        # a truncation-merged pair of cells is just a merged bucket.
+        self._inv = 1.0 / self._cell
+        # scan windows are padded by a hair beyond the exact reach so a
+        # float predicate that rounds *into* the disk can never involve a
+        # node sitting just past an unprobed cell boundary
+        self._pad = self._cell * 1e-9
+        # cell (cx, cy) -> node list, keyed by cx * _GRID_STRIDE + cy:
+        # one int hash instead of a tuple allocation per probe. A |cy| >=
+        # _GRID_STRIDE/2 collision merely merges buckets — every
+        # membership decision re-checks coordinates, so correctness never
+        # depends on key uniqueness.
+        self._grid: dict[int, list[int]] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def interference_of(self, node: int) -> int:
+        if not (0 <= node < self.config.capacity) or not self.active[node]:
+            raise StreamStateError(f"node {node} is not active")
+        return self.counts[node]
+
+    def active_nodes(self) -> list[int]:
+        return [i for i in range(self.config.capacity) if self.active[i]]
+
+    def node_interference(self) -> np.ndarray:
+        """Counts over the whole universe (inactive entries are 0)."""
+        return np.asarray(self.counts, dtype=np.int64)
+
+    def max_interference(self) -> int:
+        act = self.active
+        return max(
+            (c for i, c in enumerate(self.counts) if act[i]), default=0
+        )
+
+    def region_read(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> list[tuple[int, int]]:
+        """``(node, count)`` for active nodes inside the closed rectangle,
+        in node-id order; touches only the overlapping grid cells."""
+        inv = self._inv
+        out: list[tuple[int, int]] = []
+        grid = self._grid
+        xs, ys, counts = self.xs, self.ys, self.counts
+        for cx in range(int(xmin * inv), int(xmax * inv) + 1):
+            base = cx * _GRID_STRIDE
+            for cy in range(int(ymin * inv), int(ymax * inv) + 1):
+                for v in grid.get(base + cy, ()):
+                    if xmin <= xs[v] <= xmax and ymin <= ys[v] <= ymax:
+                        out.append((v, counts[v]))
+        out.sort()
+        return out
+
+    # -- event application -------------------------------------------------
+
+    def apply(
+        self, event: StreamEvent, *, seq: int | None = None, collect: bool = True
+    ) -> AppliedEvent:
+        """Apply one event; returns its :class:`AppliedEvent`.
+
+        ``seq`` (when given, e.g. during WAL replay) must be exactly
+        ``self.seq + 1`` — replay is contiguous by construction, and a
+        gap means the log lost records.
+        """
+        if seq is not None and seq != self.seq + 1:
+            raise StreamStateError(
+                f"non-contiguous seq {seq} (engine at {self.seq})"
+            )
+        kind = event.kind
+        if kind == "join":
+            changed = self._apply_join(
+                event.node, event.x, event.y, event.r, collect
+            )
+        elif kind == "leave":
+            changed = self._apply_leave(event.node, collect)
+        else:
+            changed = self._apply_move(
+                event.node, event.x, event.y, event.r, collect
+            )
+        self.seq += 1
+        return AppliedEvent(
+            self.seq, event, tuple(changed) if changed is not None else None
+        )
+
+    def apply_fast(self, event: StreamEvent) -> int:
+        """Apply one event with no delta collection or result object;
+        returns the event's seqno. The hot ingest path — semantically
+        ``self.apply(event, collect=False).seq``."""
+        kind = event.kind
+        if kind == "join":
+            self._apply_join(event.node, event.x, event.y, event.r, False)
+        elif kind == "leave":
+            self._apply_leave(event.node, False)
+        else:
+            self._apply_move(event.node, event.x, event.y, event.r, False)
+        seq = self.seq + 1
+        self.seq = seq
+        return seq
+
+    def apply_batch(
+        self, events, *, collect: bool = False
+    ) -> list[AppliedEvent]:
+        """Apply events in order (the hot path: deltas off by default)."""
+        out = [self.apply(e, collect=collect) for e in events]
+        obs.count("stream.events", len(out))
+        return out
+
+    def apply_many(self, events) -> int:
+        """Bulk-apply with the join/leave/move bodies inlined and zero
+        per-event allocation; returns the final seqno.
+
+        Semantically ``for e in events: self.apply(e, collect=False)`` —
+        bit-identical state, same :class:`StreamStateError` rejections —
+        but ~2x faster, which is what lets the durable ingest path hold
+        its throughput floor (``benchmarks/bench_stream.py``). On a
+        rejection the applied prefix stands, ``self.seq`` included.
+        """
+        xs, ys, rs = self.xs, self.ys, self.rs
+        counts, active, grid = self.counts, self.active, self._grid
+        get = grid.get
+        inv = self._inv
+        cap = self.config.capacity
+        r_max = self.config.r_max
+        rpad = r_max + self._pad
+        pad = self._pad
+        S = _GRID_STRIDE
+        seq = self.seq
+        n_active = self.n_active
+        try:
+            for event in events:
+                kind = event.kind
+                node = event.node
+                if not 0 <= node < cap:
+                    raise StreamStateError(
+                        f"node {node} outside universe [0, {cap})"
+                    )
+                if kind == "join":
+                    x, y, r = event.x, event.y, event.r
+                    if r < 0 or r > r_max:
+                        raise StreamStateError(
+                            f"radius {r} outside [0, r_max={r_max}]"
+                        )
+                    if active[node]:
+                        raise StreamStateError(
+                            f"join of already-active node {node}"
+                        )
+                elif kind == "leave":
+                    if not active[node]:
+                        raise StreamStateError(f"leave of inactive node {node}")
+                    x, y, r = xs[node], ys[node], rs[node]
+                    grid[int(x * inv) * S + int(y * inv)].remove(node)
+                    r2 = r * r
+                    reach = r + pad
+                    cx0 = int((x - reach) * inv)
+                    cx1 = int((x + reach) * inv)
+                    cy0 = int((y - reach) * inv)
+                    cy1 = int((y + reach) * inv)
+                    dxc = cx1 - cx0
+                    dyc = cy1 - cy0
+                    if dxc > 2 or dyc > 2:
+                        ks = tuple(
+                            cx * S + cy
+                            for cx in range(cx0, cx1 + 1)
+                            for cy in range(cy0, cy1 + 1)
+                        )
+                    else:
+                        # spans of 1-3 cells per axis cover every window up to
+                        # 2*(r_max + pad) wide; literal tuples here are ~6x cheaper
+                        # than the genexpr (no generator frame per event)
+                        b0 = cx0 * S
+                        if dxc == 0:
+                            if dyc == 0:
+                                ks = (b0 + cy0,)
+                            elif dyc == 1:
+                                ks = (b0 + cy0, b0 + cy1)
+                            else:
+                                ks = (b0 + cy0, b0 + cy0 + 1, b0 + cy1)
+                        elif dxc == 1:
+                            b1 = b0 + S
+                            if dyc == 0:
+                                ks = (b0 + cy0, b1 + cy0)
+                            elif dyc == 1:
+                                ks = (b0 + cy0, b0 + cy1, b1 + cy0, b1 + cy1)
+                            else:
+                                cym = cy0 + 1
+                                ks = (
+                                    b0 + cy0, b0 + cym, b0 + cy1,
+                                    b1 + cy0, b1 + cym, b1 + cy1,
+                                )
+                        else:
+                            b1 = b0 + S
+                            b2 = b1 + S
+                            if dyc == 0:
+                                ks = (b0 + cy0, b1 + cy0, b2 + cy0)
+                            elif dyc == 1:
+                                ks = (
+                                    b0 + cy0, b0 + cy1,
+                                    b1 + cy0, b1 + cy1,
+                                    b2 + cy0, b2 + cy1,
+                                )
+                            else:
+                                cym = cy0 + 1
+                                ks = (
+                                    b0 + cy0, b0 + cym, b0 + cy1,
+                                    b1 + cy0, b1 + cym, b1 + cy1,
+                                    b2 + cy0, b2 + cym, b2 + cy1,
+                                )
+                    for k in ks:
+                        bucket = get(k)
+                        if bucket:
+                            for v in bucket:
+                                dx = xs[v] - x
+                                dy = ys[v] - y
+                                if dx * dx + dy * dy <= r2:
+                                    counts[v] -= 1
+                    counts[node] = 0
+                    rs[node] = 0.0
+                    active[node] = 0
+                    n_active -= 1
+                    seq += 1
+                    continue
+                else:  # move == atomic leave + join (kind is validated)
+                    if not active[node]:
+                        raise StreamStateError(f"move of inactive node {node}")
+                    x, y, r = event.x, event.y, event.r
+                    if r is None:
+                        r = rs[node]
+                    if r < 0 or r > r_max:
+                        raise StreamStateError(
+                            f"radius {r} outside [0, r_max={r_max}]"
+                        )
+                    # leave half: retract the old disk's coverage
+                    ox, oy = xs[node], ys[node]
+                    orr = rs[node]
+                    grid[int(ox * inv) * S + int(oy * inv)].remove(node)
+                    r2 = orr * orr
+                    reach = orr + pad
+                    cx0 = int((ox - reach) * inv)
+                    cx1 = int((ox + reach) * inv)
+                    cy0 = int((oy - reach) * inv)
+                    cy1 = int((oy + reach) * inv)
+                    dxc = cx1 - cx0
+                    dyc = cy1 - cy0
+                    if dxc > 2 or dyc > 2:
+                        ks = tuple(
+                            cx * S + cy
+                            for cx in range(cx0, cx1 + 1)
+                            for cy in range(cy0, cy1 + 1)
+                        )
+                    else:
+                        # spans of 1-3 cells per axis cover every window up to
+                        # 2*(r_max + pad) wide; literal tuples here are ~6x cheaper
+                        # than the genexpr (no generator frame per event)
+                        b0 = cx0 * S
+                        if dxc == 0:
+                            if dyc == 0:
+                                ks = (b0 + cy0,)
+                            elif dyc == 1:
+                                ks = (b0 + cy0, b0 + cy1)
+                            else:
+                                ks = (b0 + cy0, b0 + cy0 + 1, b0 + cy1)
+                        elif dxc == 1:
+                            b1 = b0 + S
+                            if dyc == 0:
+                                ks = (b0 + cy0, b1 + cy0)
+                            elif dyc == 1:
+                                ks = (b0 + cy0, b0 + cy1, b1 + cy0, b1 + cy1)
+                            else:
+                                cym = cy0 + 1
+                                ks = (
+                                    b0 + cy0, b0 + cym, b0 + cy1,
+                                    b1 + cy0, b1 + cym, b1 + cy1,
+                                )
+                        else:
+                            b1 = b0 + S
+                            b2 = b1 + S
+                            if dyc == 0:
+                                ks = (b0 + cy0, b1 + cy0, b2 + cy0)
+                            elif dyc == 1:
+                                ks = (
+                                    b0 + cy0, b0 + cy1,
+                                    b1 + cy0, b1 + cy1,
+                                    b2 + cy0, b2 + cy1,
+                                )
+                            else:
+                                cym = cy0 + 1
+                                ks = (
+                                    b0 + cy0, b0 + cym, b0 + cy1,
+                                    b1 + cy0, b1 + cym, b1 + cy1,
+                                    b2 + cy0, b2 + cym, b2 + cy1,
+                                )
+                    for k in ks:
+                        bucket = get(k)
+                        if bucket:
+                            for v in bucket:
+                                dx = xs[v] - ox
+                                dy = ys[v] - oy
+                                if dx * dx + dy * dy <= r2:
+                                    counts[v] -= 1
+                    active[node] = 0
+                    n_active -= 1
+                # join (for both "join" and the second half of "move"):
+                # node is not in any bucket here, so the scan never sees
+                # it. Both delta directions are bounded by r_max, so the
+                # window is ±r_max regardless of the joining radius.
+                r2 = r * r
+                own = 0
+                cx0 = int((x - rpad) * inv)
+                cx1 = int((x + rpad) * inv)
+                cy0 = int((y - rpad) * inv)
+                cy1 = int((y + rpad) * inv)
+                dxc = cx1 - cx0
+                dyc = cy1 - cy0
+                if dxc > 2 or dyc > 2:
+                    ks = tuple(
+                        cx * S + cy
+                        for cx in range(cx0, cx1 + 1)
+                        for cy in range(cy0, cy1 + 1)
+                    )
+                else:
+                    # spans of 1-3 cells per axis cover every window up to
+                    # 2*(r_max + pad) wide; literal tuples here are ~6x cheaper
+                    # than the genexpr (no generator frame per event)
+                    b0 = cx0 * S
+                    if dxc == 0:
+                        if dyc == 0:
+                            ks = (b0 + cy0,)
+                        elif dyc == 1:
+                            ks = (b0 + cy0, b0 + cy1)
+                        else:
+                            ks = (b0 + cy0, b0 + cy0 + 1, b0 + cy1)
+                    elif dxc == 1:
+                        b1 = b0 + S
+                        if dyc == 0:
+                            ks = (b0 + cy0, b1 + cy0)
+                        elif dyc == 1:
+                            ks = (b0 + cy0, b0 + cy1, b1 + cy0, b1 + cy1)
+                        else:
+                            cym = cy0 + 1
+                            ks = (
+                                b0 + cy0, b0 + cym, b0 + cy1,
+                                b1 + cy0, b1 + cym, b1 + cy1,
+                            )
+                    else:
+                        b1 = b0 + S
+                        b2 = b1 + S
+                        if dyc == 0:
+                            ks = (b0 + cy0, b1 + cy0, b2 + cy0)
+                        elif dyc == 1:
+                            ks = (
+                                b0 + cy0, b0 + cy1,
+                                b1 + cy0, b1 + cy1,
+                                b2 + cy0, b2 + cy1,
+                            )
+                        else:
+                            cym = cy0 + 1
+                            ks = (
+                                b0 + cy0, b0 + cym, b0 + cy1,
+                                b1 + cy0, b1 + cym, b1 + cy1,
+                                b2 + cy0, b2 + cym, b2 + cy1,
+                            )
+                for k in ks:
+                    bucket = get(k)
+                    if bucket:
+                        for v in bucket:
+                            dx = xs[v] - x
+                            dy = ys[v] - y
+                            d2 = dx * dx + dy * dy
+                            if d2 <= r2:
+                                counts[v] += 1
+                            rv = rs[v]
+                            if d2 <= rv * rv:
+                                own += 1
+                xs[node] = x
+                ys[node] = y
+                rs[node] = r
+                counts[node] = own
+                active[node] = 1
+                n_active += 1
+                key = int(x * inv) * S + int(y * inv)
+                bucket = get(key)
+                if bucket is None:
+                    grid[key] = [node]
+                else:
+                    bucket.append(node)
+                seq += 1
+        finally:
+            self.seq = seq
+            self.n_active = n_active
+        return seq
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.config.capacity:
+            raise StreamStateError(
+                f"node {node} outside universe [0, {self.config.capacity})"
+            )
+
+    def _check_radius(self, r: float) -> None:
+        if r < 0 or r > self.config.r_max:
+            raise StreamStateError(
+                f"radius {r} outside [0, r_max={self.config.r_max}]"
+            )
+
+    def _apply_join(self, node, x, y, r, collect):
+        self._check_node(node)
+        self._check_radius(r)
+        if self.active[node]:
+            raise StreamStateError(f"join of already-active node {node}")
+        xs, ys, rs, counts = self.xs, self.ys, self.rs, self.counts
+        inv = self._inv
+        grid = self._grid
+        get = grid.get
+        key = int(x * inv) * _GRID_STRIDE + int(y * inv)
+        r2 = r * r
+        own = 0
+        changed = [] if collect else None
+        # both delta directions are bounded by r_max, so scan the cells
+        # overlapping the ±r_max window around the join site
+        reach = self.config.r_max + self._pad
+        cx0, cx1 = int((x - reach) * inv), int((x + reach) * inv)
+        cy0, cy1 = int((y - reach) * inv), int((y + reach) * inv)
+        for cx in range(cx0, cx1 + 1):
+            base = cx * _GRID_STRIDE
+            for k in range(base + cy0, base + cy1 + 1):
+                bucket = get(k)
+                if not bucket:
+                    continue
+                for v in bucket:
+                    dx = xs[v] - x
+                    dy = ys[v] - y
+                    d2 = dx * dx + dy * dy
+                    if d2 <= r2:
+                        counts[v] += 1
+                        if collect:
+                            changed.append((v, counts[v]))
+                    rv = rs[v]
+                    if d2 <= rv * rv:
+                        own += 1
+        xs[node] = x
+        ys[node] = y
+        rs[node] = r
+        counts[node] = own
+        self.active[node] = 1
+        self.n_active += 1
+        bucket = get(key)
+        if bucket is None:
+            grid[key] = [node]
+        else:
+            bucket.append(node)
+        if collect:
+            changed.append((node, own))
+        return changed
+
+    def _apply_leave(self, node, collect):
+        self._check_node(node)
+        if not self.active[node]:
+            raise StreamStateError(f"leave of inactive node {node}")
+        xs, ys, counts = self.xs, self.ys, self.counts
+        x, y, r = xs[node], ys[node], self.rs[node]
+        inv = self._inv
+        grid = self._grid
+        get = grid.get
+        key = int(x * inv) * _GRID_STRIDE + int(y * inv)
+        grid[key].remove(node)
+        r2 = r * r
+        changed = [] if collect else None
+        # a leave only retracts the node's *own* coverage: the window is
+        # its own radius, usually tighter than r_max
+        reach = r + self._pad
+        cx0, cx1 = int((x - reach) * inv), int((x + reach) * inv)
+        cy0, cy1 = int((y - reach) * inv), int((y + reach) * inv)
+        for cx in range(cx0, cx1 + 1):
+            base = cx * _GRID_STRIDE
+            for k in range(base + cy0, base + cy1 + 1):
+                bucket = get(k)
+                if not bucket:
+                    continue
+                for v in bucket:
+                    dx = xs[v] - x
+                    dy = ys[v] - y
+                    if dx * dx + dy * dy <= r2:
+                        counts[v] -= 1
+                        if collect:
+                            changed.append((v, counts[v]))
+        counts[node] = 0
+        self.rs[node] = 0.0
+        self.active[node] = 0
+        self.n_active -= 1
+        return changed
+
+    def _apply_move(self, node, x, y, r, collect):
+        self._check_node(node)
+        if not self.active[node]:
+            raise StreamStateError(f"move of inactive node {node}")
+        if r is None:
+            r = self.rs[node]
+        self._check_radius(r)
+        if not collect:
+            self._apply_leave(node, False)
+            self._apply_join(node, x, y, r, False)
+            return None
+        counts = self.counts
+        # pre-move values of every node either half touches; leave/join
+        # changed lists carry post-op values, so reconstruct by +-1
+        pre = {node: counts[node]}
+        for v, c in self._apply_leave(node, True):
+            pre.setdefault(v, c + 1)
+        for v, c in self._apply_join(node, x, y, r, True):
+            if v != node:
+                pre.setdefault(v, c - 1)
+        return [
+            (v, counts[v]) for v in sorted(pre) if v == node or counts[v] != pre[v]
+        ]
+
+    # -- from-scratch verification ----------------------------------------
+
+    def recompute_counts(self, *, chunk: int = 512) -> np.ndarray:
+        """Independent vectorized recount over the whole universe.
+
+        Uses the same IEEE arithmetic as the incremental path
+        (``dx*dx + dy*dy <= r*r`` in float64), so agreement is *exact*.
+        O(active^2) in ``chunk``-row blocks; verification-path only.
+        """
+        cap = self.config.capacity
+        idx = np.flatnonzero(np.frombuffer(bytes(self.active), dtype=np.uint8))
+        out = np.zeros(cap, dtype=np.int64)
+        if idx.size == 0:
+            return out
+        px = np.asarray(self.xs, dtype=np.float64)[idx]
+        py = np.asarray(self.ys, dtype=np.float64)[idx]
+        pr = np.asarray(self.rs, dtype=np.float64)[idx]
+        r2 = pr * pr
+        acc = np.zeros(idx.size, dtype=np.int64)
+        for lo in range(0, idx.size, chunk):
+            hi = min(lo + chunk, idx.size)
+            dx = px[lo:hi, None] - px[None, :]
+            dy = py[lo:hi, None] - py[None, :]
+            d2 = dx * dx + dy * dy
+            cover = d2 <= r2[lo:hi, None]  # row u covers column v
+            acc += cover.sum(axis=0)
+        acc -= 1  # every node's own disk trivially covers its own position
+        out[idx] = acc
+        return out
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical active-node state (order, exact
+        float reprs, counts, seq) — two engines are bit-identical iff
+        their digests match."""
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(f"seq={self.seq};n={self.n_active};".encode())
+        xs, ys, rs, counts = self.xs, self.ys, self.rs, self.counts
+        for i in range(self.config.capacity):
+            if self.active[i]:
+                h.update(
+                    f"{i}:{xs[i]!r},{ys[i]!r},{rs[i]!r},{counts[i]};".encode()
+                )
+        return h.hexdigest()
+
+    # -- snapshot support --------------------------------------------------
+
+    def state_jsonable(self) -> dict:
+        """Sparse full state (active nodes only), JSON round-trip exact."""
+        nodes = [
+            [i, self.xs[i], self.ys[i], self.rs[i], self.counts[i]]
+            for i in range(self.config.capacity)
+            if self.active[i]
+        ]
+        return {"seq": self.seq, "nodes": nodes}
+
+    def state_json(self) -> str:
+        """Compact snapshot JSON, byte-identical to
+        ``json.dumps(self.state_jsonable(), separators=(",", ":"))`` but
+        built directly — snapshot serialization is the main cost of a
+        snapshot at large ``n_active``, and this halves it."""
+        xs, ys, rs, counts = self.xs, self.ys, self.rs, self.counts
+        nodes = ",".join(
+            f"[{i},{xs[i]!r},{ys[i]!r},{rs[i]!r},{counts[i]}]"
+            for i in range(self.config.capacity)
+            if self.active[i]
+        )
+        return f'{{"seq":{self.seq},"nodes":[{nodes}]}}'
+
+    @classmethod
+    def from_state(cls, config: StreamConfig, state: dict) -> "StreamEngine":
+        engine = cls(config)
+        grid = engine._grid
+        inv = engine._inv
+        for i, x, y, r, c in state["nodes"]:
+            i = int(i)
+            engine.xs[i] = x
+            engine.ys[i] = y
+            engine.rs[i] = r
+            engine.counts[i] = int(c)
+            engine.active[i] = 1
+            grid.setdefault(
+                int(x * inv) * _GRID_STRIDE + int(y * inv), []
+            ).append(i)
+        engine.n_active = sum(engine.active)
+        engine.seq = int(state["seq"])
+        return engine

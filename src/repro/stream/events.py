@@ -1,0 +1,253 @@
+"""Typed membership events and seeded event-stream workloads.
+
+The event vocabulary is the churn vocabulary of the paper's robustness
+argument, made explicit and serializable:
+
+- ``join``  — a node appears at ``(x, y)`` with coverage radius ``r``;
+- ``leave`` — a node disappears (its disk stops covering anyone);
+- ``move``  — a node relocates to ``(x, y)`` (optionally with a new
+  radius), equivalent to leave+join but applied as one atomic event.
+
+Events are pure data: they carry no sequence number. The engine (or the
+durable log) assigns monotonic seqnos at apply/append time, which keeps
+the same event list replayable into any engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import as_generator
+
+EVENT_KINDS = ("join", "leave", "move")
+
+#: Workload families for :func:`random_stream_events` (the three topology
+#: families the recovery property tests sweep).
+EVENT_FAMILIES = ("uniform", "clustered", "mobile")
+
+
+@dataclass(frozen=True, slots=True)
+class StreamEvent:
+    """One membership event (see the module docstring).
+
+    ``x``/``y``/``r`` are required for ``join``; ``move`` requires
+    ``x``/``y`` and may carry a new ``r`` (``None`` keeps the current
+    radius); ``leave`` carries only ``node``.
+    """
+
+    kind: str
+    node: int
+    x: float | None = None
+    y: float | None = None
+    r: float | None = None
+
+    def __post_init__(self):
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; known: {list(EVENT_KINDS)}"
+            )
+        if self.node < 0:
+            raise ValueError("node must be >= 0")
+        if self.kind in ("join", "move"):
+            if self.x is None or self.y is None:
+                raise ValueError(f"{self.kind} events need x and y")
+            if not (math.isfinite(self.x) and math.isfinite(self.y)):
+                raise ValueError("event coordinates must be finite")
+        if self.kind == "join" and self.r is None:
+            raise ValueError("join events need a radius")
+        if self.r is not None and not (math.isfinite(self.r) and self.r >= 0):
+            raise ValueError("event radius must be finite and >= 0")
+
+    def to_jsonable(self) -> dict:
+        out: dict = {"kind": self.kind, "node": self.node}
+        if self.x is not None:
+            out["x"] = self.x
+            out["y"] = self.y
+        if self.r is not None:
+            out["r"] = self.r
+        return out
+
+    def to_wal_json(self) -> str:
+        """Compact JSON, built directly (the hot WAL-append path).
+
+        Byte-identical to ``json.dumps(self.to_jsonable(),
+        separators=(",", ":"))``: same key order, and Python's shortest
+        float ``repr`` is exactly what ``json.dumps`` emits. Skipping the
+        dict + encoder machinery roughly halves per-event append cost.
+        """
+        if self.x is None:
+            return f'{{"kind":"{self.kind}","node":{self.node}}}'
+        if self.r is None:
+            return (
+                f'{{"kind":"{self.kind}","node":{self.node}'
+                f',"x":{self.x!r},"y":{self.y!r}}}'
+            )
+        return (
+            f'{{"kind":"{self.kind}","node":{self.node}'
+            f',"x":{self.x!r},"y":{self.y!r},"r":{self.r!r}}}'
+        )
+
+    def wal_payload(self, seq: int) -> str:
+        """The WAL payload for this event at seqno ``seq``: a compact JSON
+        row ``[seq, kind, node, x, y, r]`` with absent fields dropped from
+        the tail, built as one f-string.
+
+        Serialization is the second-largest term in the ingest budget
+        after the engine itself; the row form keeps most records inside a
+        single SHA-256 block and skips the object-key overhead. Inverse:
+        :meth:`from_wal_record`.
+        """
+        if self.x is None:
+            return f'[{seq},"{self.kind}",{self.node}]'
+        if self.r is None:
+            return (
+                f'[{seq},"{self.kind}",{self.node},{self.x!r},{self.y!r}]'
+            )
+        return (
+            f'[{seq},"{self.kind}",{self.node}'
+            f',{self.x!r},{self.y!r},{self.r!r}]'
+        )
+
+    @classmethod
+    def from_wal_record(cls, rec) -> tuple[int, "StreamEvent"]:
+        """Parse one scanned WAL record into ``(seq, event)`` — the
+        inverse of :meth:`wal_payload`. Also accepts the object form
+        ``{"seq": n, "ev": {...}}`` so externally produced logs replay."""
+        if isinstance(rec, dict):
+            return int(rec["seq"]), cls.from_jsonable(rec["ev"])
+        n = len(rec)
+        return int(rec[0]), cls(
+            kind=rec[1],
+            node=int(rec[2]),
+            x=rec[3] if n > 3 else None,
+            y=rec[4] if n > 4 else None,
+            r=rec[5] if n > 5 else None,
+        )
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "StreamEvent":
+        return cls(
+            kind=payload["kind"],
+            node=int(payload["node"]),
+            x=payload.get("x"),
+            y=payload.get("y"),
+            r=payload.get("r"),
+        )
+
+
+def random_stream_events(
+    n_events: int,
+    *,
+    capacity: int,
+    side: float,
+    r_max: float,
+    seed=None,
+    family: str = "uniform",
+    p_leave: float = 0.2,
+    p_move: float = 0.3,
+    r_range: tuple[float, float] = (0.2, 1.0),
+    n_clusters: int = 5,
+) -> list[StreamEvent]:
+    """A seeded, well-formed event stream over a ``capacity``-node universe.
+
+    Well-formed means every event is applicable in order: joins pick free
+    node ids, leaves/moves pick currently-alive ids, and the stream is a
+    pure function of its arguments — the property the chaos harness and
+    the CI smoke job rely on to recompute reference states from the seed
+    alone.
+
+    ``family`` selects the position distribution:
+
+    - ``uniform``   — positions i.i.d. uniform in ``[0, side]^2``;
+    - ``clustered`` — positions gaussian around ``n_clusters`` seeded
+      centres (dense neighbourhoods stress the per-event delta fan-out);
+    - ``mobile``    — uniform positions but a move-heavy mix (moves are
+      the compound leave+join path).
+
+    Radii are drawn uniform in ``r_range`` (fractions of ``r_max``).
+
+    Coordinates and radii are quantized to 6 decimals — the precision a
+    real positioning source delivers — which keeps their shortest float
+    ``repr`` (and hence every WAL payload and snapshot) compact. The
+    engine is exact on whatever floats the events carry, so quantization
+    changes nothing about the bit-identical replay guarantee.
+    """
+    if n_events < 1:
+        raise ValueError("n_events must be >= 1")
+    if capacity < 2:
+        raise ValueError("capacity must be >= 2")
+    if side <= 0 or r_max <= 0:
+        raise ValueError("side and r_max must be positive")
+    if family not in EVENT_FAMILIES:
+        raise ValueError(
+            f"unknown family {family!r}; known: {list(EVENT_FAMILIES)}"
+        )
+    lo, hi = r_range
+    if not 0 <= lo <= hi <= 1:
+        raise ValueError("r_range must satisfy 0 <= lo <= hi <= 1")
+    if family == "mobile":
+        p_leave, p_move = 0.1, 0.6
+    if p_leave < 0 or p_move < 0 or p_leave + p_move >= 1:
+        raise ValueError("p_leave + p_move must be < 1 (remainder joins)")
+
+    rng = as_generator(seed)
+    centers = rng.uniform(0.15 * side, 0.85 * side, size=(max(n_clusters, 1), 2))
+    spread = side / 12.0
+
+    def draw_position() -> tuple[float, float]:
+        if family == "clustered":
+            c = centers[int(rng.integers(centers.shape[0]))]
+            x = float(np.clip(c[0] + rng.normal(0.0, spread), 0.0, side))
+            y = float(np.clip(c[1] + rng.normal(0.0, spread), 0.0, side))
+            return round(x, 6), round(y, 6)
+        return (
+            round(float(rng.uniform(0.0, side)), 6),
+            round(float(rng.uniform(0.0, side)), 6),
+        )
+
+    free = list(range(capacity - 1, -1, -1))  # stack: pop() yields 0, 1, ...
+    alive: list[int] = []
+    alive_pos: dict[int, int] = {}
+    events: list[StreamEvent] = []
+
+    def remove_alive(idx: int) -> int:
+        node = alive[idx]
+        last = alive[-1]
+        alive[idx] = last
+        alive_pos[last] = idx
+        alive.pop()
+        del alive_pos[node]
+        return node
+
+    for _ in range(n_events):
+        u = float(rng.random())
+        if u < p_leave:
+            kind = "leave"
+        elif u < p_leave + p_move:
+            kind = "move"
+        else:
+            kind = "join"
+        if kind != "join" and not alive:
+            kind = "join"  # nothing to leave/move yet
+        if kind == "join" and not free:
+            kind = "move"  # universe full: churn in place
+        if kind == "leave":
+            node = remove_alive(int(rng.integers(len(alive))))
+            free.append(node)
+            events.append(StreamEvent("leave", node))
+        elif kind == "move":
+            node = alive[int(rng.integers(len(alive)))]
+            x, y = draw_position()
+            events.append(StreamEvent("move", node, x=x, y=y))
+        else:
+            node = free.pop()
+            alive_pos[node] = len(alive)
+            alive.append(node)
+            x, y = draw_position()
+            # quantize, clamping: rounding up past r_max would be rejected
+            r = min(round(float(r_max * rng.uniform(lo, hi)), 6), r_max)
+            events.append(StreamEvent("join", node, x=x, y=y, r=r))
+    return events

@@ -1,0 +1,111 @@
+"""Atomic, checksummed full-state snapshots for the durable engine.
+
+A snapshot is one file ``snapshot-<seq>.json`` holding a single WAL-style
+frame (``<len> <sha256> <json>\\n``) whose payload is the engine's sparse
+full state plus the last applied seqno. Snapshots are written to a temp
+file in the same directory, fsynced, then ``os.replace``d into place —
+so a crash mid-snapshot never yields a half-written file under the final
+name, and the frame checksum catches the residual cases (e.g. a torn
+temp file surviving a rename on a non-atomic filesystem).
+
+Recovery picks the newest snapshot that *verifies*; a corrupt or torn
+newest snapshot silently falls back to its predecessor, which is why
+``StreamConfig.keep_snapshots`` is at least 2.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+from repro import obs
+from repro.stream.wal import _check_frame, frame_record
+
+__all__ = [
+    "latest_snapshot",
+    "list_snapshots",
+    "load_snapshot",
+    "prune_snapshots",
+    "write_snapshot",
+]
+
+_SNAP_RE = re.compile(r"^snapshot-(\d+)\.json$")
+
+
+def snapshot_path(directory: str | Path, seq: int) -> Path:
+    return Path(directory) / f"snapshot-{seq}.json"
+
+
+def write_snapshot(
+    directory: str | Path, seq: int, state_json: str, *, fsync: bool = True
+) -> Path:
+    """Atomically persist one framed snapshot; returns its final path."""
+    directory = Path(directory)
+    final = snapshot_path(directory, seq)
+    tmp = directory / f".snapshot-{seq}.tmp"
+    frame = frame_record(state_json)
+    with open(tmp, "wb") as f:
+        f.write(frame)
+        f.flush()
+        if fsync:
+            os.fsync(f.fileno())
+    os.replace(tmp, final)
+    if fsync:
+        # make the rename itself durable
+        dfd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dfd)
+        finally:
+            os.close(dfd)
+    obs.count("stream.snapshots")
+    return final
+
+
+def list_snapshots(directory: str | Path) -> list[tuple[int, Path]]:
+    """``(seq, path)`` for every snapshot file, ascending by seq."""
+    out = []
+    for p in Path(directory).iterdir():
+        m = _SNAP_RE.match(p.name)
+        if m:
+            out.append((int(m.group(1)), p))
+    out.sort()
+    return out
+
+
+def load_snapshot(path: str | Path) -> str | None:
+    """The snapshot's payload JSON string, or None if it fails to verify."""
+    data = Path(path).read_bytes()
+    if not data.endswith(b"\n"):
+        return None
+    line = data[:-1]
+    if b"\n" in line or _check_frame(line) is not None:
+        return None
+    sp1 = line.index(b" ")
+    return line[sp1 + 1 + 64 + 1 :].decode("utf-8")
+
+
+def latest_snapshot(directory: str | Path) -> tuple[int, str] | None:
+    """``(seq, payload_json)`` of the newest snapshot that verifies.
+
+    Walks newest-to-oldest, skipping snapshots that fail their checksum
+    (crash-mid-snapshot leftovers); None when no valid snapshot exists.
+    """
+    for seq, path in reversed(list_snapshots(directory)):
+        payload = load_snapshot(path)
+        if payload is not None:
+            return seq, payload
+    return None
+
+
+def prune_snapshots(directory: str | Path, keep: int) -> int:
+    """Delete all but the ``keep`` newest snapshots; returns count removed."""
+    snaps = list_snapshots(directory)
+    removed = 0
+    for _, path in snaps[: max(0, len(snaps) - keep)]:
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

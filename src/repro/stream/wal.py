@@ -1,0 +1,342 @@
+"""Append-only write-ahead log: framed JSONL with length + SHA-256.
+
+Record framing
+--------------
+One record per line::
+
+    <payload-bytes> <sha256-hex> <payload-json>\\n
+
+- ``payload-bytes`` — decimal byte length of the JSON payload;
+- ``sha256-hex``    — SHA-256 digest (64 hex chars) of the payload bytes;
+- ``payload-json``  — compact JSON (never contains a raw newline).
+
+The explicit length makes torn tails detectable without guessing, and the
+checksum makes silent corruption detectable explicitly. The two failure
+modes get *different* treatment, because they mean different things:
+
+- **torn tail** — the file ends in an incomplete frame (no terminating
+  newline, or fewer payload bytes than declared at EOF). This is the
+  expected signature of a crash mid-write (a killed process loses its
+  userspace buffer at an arbitrary byte boundary) and is *tolerated*:
+  the scan reports the valid prefix and recovery truncates the file to
+  it.
+- **corruption** — a *complete* frame whose checksum (or framing) does
+  not verify, or an invalid frame followed by further data. No crash
+  produces this; a flipped bit does. :func:`scan_wal` raises
+  :class:`WalCorruption` naming the failing record and the last good
+  seqno, and recovery refuses to continue past it.
+
+Writes are buffered; :meth:`WriteAheadLog.append` triggers
+``flush``+``fsync`` every ``fsync_every`` records, so the crash-loss
+window is bounded by the batch size (the throughput/durability trade
+measured in ``benchmarks/bench_stream.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from binascii import hexlify
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import obs
+
+__all__ = [
+    "FRAME_FMT",
+    "WalCorruption",
+    "WalScan",
+    "WriteAheadLog",
+    "frame_record",
+    "scan_wal",
+]
+
+_SHA_HEX_LEN = 64
+
+#: one WAL line: b"<len> <sha256-hex> <payload>\n"
+FRAME_FMT = b"%d %s %s\n"
+
+
+def _record_seq(rec) -> int:
+    """Seqno of a decoded payload: row form ``[seq, ...]`` or object form
+    ``{"seq": ...}`` (the WAL itself is payload-agnostic)."""
+    return int(rec[0]) if isinstance(rec, list) else int(rec["seq"])
+
+
+class WalCorruption(Exception):
+    """A corrupted (not merely torn) WAL record.
+
+    Attributes
+    ----------
+    record_index:
+        0-based index of the failing record in the file.
+    last_good_seq:
+        ``seq`` of the last record that verified (0 if none did).
+    seq:
+        ``seq`` parsed out of the corrupt payload when it still decodes,
+        else ``last_good_seq + 1`` (the slot the record occupies).
+    offset:
+        Byte offset of the failing frame.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        record_index: int,
+        last_good_seq: int,
+        offset: int,
+        seq: int | None = None,
+    ):
+        self.reason = reason
+        self.record_index = record_index
+        self.last_good_seq = last_good_seq
+        self.offset = offset
+        self.seq = seq if seq is not None else last_good_seq + 1
+        super().__init__(
+            f"WAL corruption at record {record_index} (seq {self.seq}, "
+            f"byte {offset}): {reason}"
+        )
+
+
+def frame_record(payload_json: str) -> bytes:
+    """Frame one pre-serialized JSON payload into a WAL line."""
+    data = payload_json.encode("utf-8")
+    return FRAME_FMT % (len(data), hexlify(hashlib.sha256(data).digest()), data)
+
+
+@dataclass
+class WalScan:
+    """Outcome of scanning a WAL file's valid prefix."""
+
+    path: Path
+    records: list[dict] = field(default_factory=list)
+    #: byte length of the valid prefix (complete, verified records)
+    valid_bytes: int = 0
+    #: True when the file ended in an incomplete frame (crash signature)
+    torn_tail: bool = False
+    #: bytes of incomplete trailing frame dropped by the scan
+    torn_bytes: int = 0
+
+    @property
+    def last_seq(self) -> int:
+        return _record_seq(self.records[-1]) if self.records else 0
+
+    @property
+    def first_seq(self) -> int:
+        return _record_seq(self.records[0]) if self.records else 0
+
+
+def scan_wal(path: str | Path) -> WalScan:
+    """Read a WAL file's verified record prefix (see module docstring).
+
+    A missing or empty file yields an empty scan. Raises
+    :class:`WalCorruption` on a checksum/framing failure that is not a
+    torn tail.
+    """
+    path = Path(path)
+    scan = WalScan(path=path)
+    if not path.exists():
+        return scan
+    data = path.read_bytes()
+    size = len(data)
+    offset = 0
+    index = 0
+    while offset < size:
+        nl = data.find(b"\n", offset)
+        if nl == -1:
+            # no terminating newline: a write died mid-frame
+            scan.torn_tail = True
+            scan.torn_bytes = size - offset
+            break
+        line = data[offset : nl]
+        failure = _check_frame(line)
+        if failure is not None:
+            if nl == size - 1 and _looks_truncated(line):
+                # final line, payload shorter than declared: torn write
+                # that happened to end on a newline from the lost bytes
+                scan.torn_tail = True
+                scan.torn_bytes = size - offset
+                break
+            raise WalCorruption(
+                failure,
+                record_index=index,
+                last_good_seq=scan.last_seq,
+                offset=offset,
+                seq=_seq_hint(line),
+            )
+        payload = line[line.index(b" ", line.index(b" ") + 1) + 1 :]
+        try:
+            record = json.loads(payload)
+        except json.JSONDecodeError as exc:  # checksum ok but not JSON
+            raise WalCorruption(
+                f"payload verifies but is not JSON: {exc}",
+                record_index=index,
+                last_good_seq=scan.last_seq,
+                offset=offset,
+            ) from exc
+        scan.records.append(record)
+        index += 1
+        offset = nl + 1
+        scan.valid_bytes = offset
+    return scan
+
+
+def _check_frame(line: bytes) -> str | None:
+    """None if the newline-terminated frame verifies, else the reason."""
+    sp1 = line.find(b" ")
+    if sp1 <= 0:
+        return "missing length field"
+    try:
+        length = int(line[:sp1])
+    except ValueError:
+        return "length field is not an integer"
+    sp2 = sp1 + 1 + _SHA_HEX_LEN
+    if len(line) <= sp2 or line[sp2 : sp2 + 1] != b" ":
+        return "missing or malformed digest field"
+    digest = line[sp1 + 1 : sp2]
+    payload = line[sp2 + 1 :]
+    if len(payload) != length:
+        return (
+            f"payload is {len(payload)} bytes, header declares {length}"
+        )
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+        return "checksum mismatch"
+    return None
+
+
+def _looks_truncated(line: bytes) -> bool:
+    """A final frame with a valid header but *fewer* payload bytes than
+    declared — distinguishable from in-place corruption, which keeps the
+    declared length."""
+    sp1 = line.find(b" ")
+    if sp1 <= 0:
+        return True  # even the header is partial
+    try:
+        length = int(line[:sp1])
+    except ValueError:
+        return False
+    return len(line) - (sp1 + 1 + _SHA_HEX_LEN + 1) < length
+
+
+def _seq_hint(line: bytes) -> int | None:
+    try:
+        sp1 = line.index(b" ")
+        payload = line[sp1 + 1 + _SHA_HEX_LEN + 1 :]
+        rec = json.loads(payload)
+        seq = rec[0] if isinstance(rec, list) else rec.get("seq")
+        return int(seq) if isinstance(seq, int) else None
+    except Exception:
+        return None
+
+
+class WriteAheadLog:
+    """Appender over one WAL file (reading goes through :func:`scan_wal`)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync_every: int = 256,
+        fsync: bool = True,
+    ):
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
+        self.path = Path(path)
+        self.fsync_every = int(fsync_every)
+        self.fsync = bool(fsync)
+        self._f = open(self.path, "ab")
+        self._unsynced = 0
+        self._closed = False
+        self.appended = 0
+
+    def append(self, record: dict) -> None:
+        """Append one record; flushes+fsyncs every ``fsync_every``."""
+        self.append_payload(
+            json.dumps(record, separators=(",", ":"), allow_nan=False)
+        )
+
+    def append_payload(self, payload_json: str) -> None:
+        """Append one pre-serialized JSON payload (hot ingest path)."""
+        data = payload_json.encode("utf-8")
+        digest = hexlify(hashlib.sha256(data).digest())
+        self._f.write(FRAME_FMT % (len(data), digest, data))
+        self.appended += 1
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_every:
+            self.flush()
+
+    def append_payloads(self, payloads: list[str]) -> None:
+        """Append pre-serialized payloads as one buffered write.
+
+        Same framing as :meth:`append_payload`, one syscall-side write
+        for the whole batch. The flush check runs once per batch, so the
+        crash-loss window is ``max(len(payloads), fsync_every)`` records;
+        the bulk ingest path keeps its batches at or below
+        ``fsync_every``, preserving the per-record bound.
+        """
+        if not payloads:
+            return
+        sha256 = hashlib.sha256
+        parts = []
+        for payload_json in payloads:
+            data = payload_json.encode("utf-8")
+            parts.append(
+                FRAME_FMT % (len(data), hexlify(sha256(data).digest()), data)
+            )
+        self._f.write(b"".join(parts))
+        self.appended += len(payloads)
+        self._unsynced += len(payloads)
+        if self._unsynced >= self.fsync_every:
+            self.flush()
+
+    def append_framed(self, framed: bytes, count: int) -> None:
+        """Append ``count`` records already framed as :data:`FRAME_FMT`
+        lines (the durable engine's fused hot loop serializes and frames
+        in a single pass, then hands the finished bytes over)."""
+        self._f.write(framed)
+        self.appended += count
+        self._unsynced += count
+        if self._unsynced >= self.fsync_every:
+            self.flush()
+
+    def flush(self, *, force_fsync: bool = False) -> None:
+        """Push buffered records to the OS (and to disk when fsyncing)."""
+        self._f.flush()
+        if self.fsync or force_fsync:
+            os.fsync(self._f.fileno())
+            obs.count("stream.wal.fsyncs")
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+        self._f.close()
+
+    def abort(self) -> None:
+        """Simulate a crash: drop the userspace buffer and close.
+
+        Closes the file descriptor *under* the buffered writer so its
+        pending bytes can never reach the OS — byte-for-byte what a
+        SIGKILL between fsync batches does to the file. Test/chaos hook.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            os.close(self._f.fileno())
+        except OSError:
+            pass
+        try:
+            self._f.close()  # flush attempt hits the dead fd; swallowed
+        except (OSError, ValueError):
+            pass
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,131 @@
+"""WAL framing edge cases: torn tails tolerated, corruption detected."""
+
+import json
+
+import pytest
+
+from repro.stream import WalCorruption, WriteAheadLog, scan_wal
+from repro.stream.wal import frame_record
+
+
+def write_records(path, n, *, fsync_every=1):
+    wal = WriteAheadLog(path, fsync_every=fsync_every, fsync=False)
+    for seq in range(1, n + 1):
+        wal.append({"seq": seq, "ev": {"kind": "join", "node": seq}})
+    wal.close()
+    return path
+
+
+class TestScan:
+    def test_roundtrip(self, tmp_path):
+        path = write_records(tmp_path / "wal.jsonl", 5)
+        scan = scan_wal(path)
+        assert [r["seq"] for r in scan.records] == [1, 2, 3, 4, 5]
+        assert scan.first_seq == 1 and scan.last_seq == 5
+        assert not scan.torn_tail
+        assert scan.valid_bytes == path.stat().st_size
+
+    def test_empty_and_missing_files(self, tmp_path):
+        missing = scan_wal(tmp_path / "nope.jsonl")
+        assert missing.records == [] and not missing.torn_tail
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        scan = scan_wal(empty)
+        assert scan.records == [] and scan.last_seq == 0
+        assert scan.valid_bytes == 0 and not scan.torn_tail
+
+
+class TestTornTail:
+    def test_truncated_final_record_without_newline(self, tmp_path):
+        path = write_records(tmp_path / "wal.jsonl", 4)
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # drop newline + payload tail
+        scan = scan_wal(path)
+        assert scan.torn_tail and scan.torn_bytes > 0
+        assert [r["seq"] for r in scan.records] == [1, 2, 3]
+        assert scan.valid_bytes == len(data[:-7]) - scan.torn_bytes
+
+    def test_truncated_final_record_keeping_newline(self, tmp_path):
+        # a torn write can coincidentally end on a newline that belonged
+        # to the lost bytes: fewer payload bytes than declared == torn
+        path = write_records(tmp_path / "wal.jsonl", 3)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[-1] = lines[-1][:-10] + b"\n"
+        path.write_bytes(b"".join(lines))
+        scan = scan_wal(path)
+        assert scan.torn_tail
+        assert [r["seq"] for r in scan.records] == [1, 2]
+
+    def test_half_written_header_is_torn(self, tmp_path):
+        path = write_records(tmp_path / "wal.jsonl", 2)
+        with open(path, "ab") as f:
+            f.write(b"17")  # crash after two bytes of the length field
+        scan = scan_wal(path)
+        assert scan.torn_tail and scan.torn_bytes == 2
+        assert scan.last_seq == 2
+
+
+class TestCorruption:
+    def test_flipped_payload_byte_reports_seqno(self, tmp_path):
+        path = write_records(tmp_path / "wal.jsonl", 6)
+        data = bytearray(path.read_bytes())
+        lines = bytes(data).splitlines(keepends=True)
+        # flip one byte inside record index 3 (seq 4), keeping the length
+        target = bytearray(lines[3])
+        target[-3] ^= 0x01
+        path.write_bytes(b"".join(lines[:3]) + bytes(target) + b"".join(lines[4:]))
+        with pytest.raises(WalCorruption) as info:
+            scan_wal(path)
+        exc = info.value
+        assert exc.record_index == 3
+        assert exc.last_good_seq == 3
+        assert exc.seq == 4
+        assert "checksum" in exc.reason
+
+    def test_corrupt_final_record_same_length_is_not_torn(self, tmp_path):
+        # in-place corruption keeps the declared length; it must NOT be
+        # misread as a tolerable torn tail even on the last line
+        path = write_records(tmp_path / "wal.jsonl", 3)
+        lines = path.read_bytes().splitlines(keepends=True)
+        target = bytearray(lines[-1])
+        target[-2] ^= 0x40  # inside the payload, length unchanged
+        path.write_bytes(b"".join(lines[:-1]) + bytes(target))
+        with pytest.raises(WalCorruption) as info:
+            scan_wal(path)
+        assert info.value.seq == 3
+
+    def test_garbage_between_records_is_corruption(self, tmp_path):
+        path = write_records(tmp_path / "wal.jsonl", 2)
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(lines[0] + b"not a frame\n" + lines[1])
+        with pytest.raises(WalCorruption) as info:
+            scan_wal(path)
+        assert info.value.record_index == 1
+        assert info.value.last_good_seq == 1
+
+
+class TestWriter:
+    def test_abort_loses_only_the_unsynced_suffix(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path, fsync_every=4, fsync=False)
+        for seq in range(1, 11):  # flushes at 4 and 8; 9, 10 buffered
+            wal.append({"seq": seq})
+        wal.abort()
+        scan = scan_wal(path)
+        assert scan.last_seq == 8
+        assert not scan.torn_tail  # flush boundaries are record boundaries
+
+    def test_append_after_scan_resumes_cleanly(self, tmp_path):
+        path = write_records(tmp_path / "wal.jsonl", 3)
+        wal = WriteAheadLog(path, fsync_every=1, fsync=False)
+        wal.append({"seq": 4})
+        wal.close()
+        assert [r["seq"] for r in scan_wal(path).records] == [1, 2, 3, 4]
+
+    def test_frame_record_layout(self):
+        payload = json.dumps({"seq": 1}, separators=(",", ":"))
+        frame = frame_record(payload)
+        length, digest, body = frame.split(b" ", 2)
+        assert int(length) == len(payload.encode())
+        assert len(digest) == 64
+        assert body == payload.encode() + b"\n"
