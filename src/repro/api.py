@@ -61,6 +61,7 @@ from repro.geometry.generators import (
 )
 from repro.highway import a_apx, a_exp, a_gen, linear_chain
 from repro.highway.linear import highway_order
+from repro.interference.batch import node_interference_many
 from repro.interference.incremental import InterferenceTracker
 from repro.interference.localized import localized_interference
 from repro.interference.receiver import (
@@ -159,6 +160,7 @@ __all__ = [
     "graph_interference",
     "localized_interference",
     "node_interference",
+    "node_interference_many",
     "node_interference_naive",
     "removal_report",
     "sender_interference",

@@ -11,6 +11,7 @@
   spirit of Meyer auf de Heide et al. [11].
 """
 
+from repro.interference.batch import node_interference_many
 from repro.interference.receiver import (
     average_interference,
     coverage_counts,
@@ -36,6 +37,7 @@ from repro.interference.traffic import traffic_interference
 
 __all__ = [
     "node_interference",
+    "node_interference_many",
     "node_interference_naive",
     "graph_interference",
     "average_interference",

@@ -14,10 +14,16 @@ with tiny default tolerances so that exact geometric constructions (e.g.
 the exponential chain, where a radius equals a node distance exactly) are
 classified consistently.
 
-Kernels follow the HPC guides: the default is a chunked, fully vectorized
-O(n^2) pass; ``method="grid"`` uses the spatial index for large sparse
-instances; ``node_interference_naive`` is the pure-Python reference used in
-tests and performance benchmarks.
+Kernels follow the HPC guides: ``method="brute"`` is a blocked, fully
+vectorized O(n^2) pass; ``method="grid"`` probes the spatial index one
+node at a time; ``method="batch"`` (:mod:`repro.interference.batch`)
+answers every disk query in fused array passes over the grid's CSR
+layout — the default above :data:`AUTO_BATCH_MIN_N` nodes;
+``node_interference_naive`` is the pure-Python reference used in tests
+and performance benchmarks. All kernels share one coverage predicate and
+agree bit-for-bit on every instance family (the property suites assert
+it), including degenerate ones: a zero-radius node still covers nodes at
+distance exactly zero, in every kernel.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ import numpy as np
 
 from repro import obs
 from repro.geometry.spatial import GridIndex
+from repro.interference.batch import batch_covered_counts
 from repro.model.topology import Topology
 
 #: Default relative tolerance for disk-coverage tests.
@@ -38,22 +45,30 @@ RTOL = 1e-9
 #: computed by the same hypot kernel so exact-equality cases match bitwise.
 ATOL = 0.0
 
+#: Row/column block edge for the O(n^2) kernels. Blocking BOTH axes keeps
+#: the peak transient at ~3 float64 blocks (~25 MB) regardless of n; the
+#: old row-only chunking materialized a ``(chunk, n, 2)`` diff — ~1.6 GB
+#: per chunk at n = 10^5, defeating the chunking's purpose.
 _CHUNK = 1024
 
-#: ``method="auto"`` switches from the vectorized O(n^2) kernel to the grid
-#: kernel above this node count. Calibrated on the constant-density
-#: instances of ``benchmarks/bench_perf_kernels.py`` (EMST over
-#: ``random_udg_connected``, Linux/x86-64, numpy 1.26): brute wins up to
-#: n ~ 500 (2ms @ 250, 8ms @ 500), the kernels tie around n ~ 700-1000
-#: (grid 20ms vs brute 35ms @ 1000) and grid wins decisively beyond
-#: (77ms vs 550ms @ 4000, 167ms vs 2480ms @ 8000). 1024 sits just above
-#: the measured tie so dense small instances keep the cheaper vectorized
-#: pass; density pathologies above the threshold are handled inside
-#: ``_interference_grid``, which falls back to brute when the grid cannot
-#: prune (see ``GRID_COVERAGE_FALLBACK``).
+#: ``method="auto"`` switches from the vectorized O(n^2) kernel to the
+#: fused batch kernel above this node count. Calibrated on the
+#: constant-density instances of ``benchmarks/bench_batch_kernels.py``
+#: (EMST over ``random_udg_connected``, Linux/x86-64, numpy 2.x): the
+#: kernels tie at n ~ 128 and batch wins beyond — 2x at n = 256, 64x at
+#: n = 4096 (see docs/PERFORMANCE.md for the measured table). Density
+#: pathologies above the threshold are handled inside the batch kernel,
+#: which falls back to brute when the grid cannot prune (see
+#: ``GRID_COVERAGE_FALLBACK``).
+AUTO_BATCH_MIN_N = 192
+
+#: The scalar-grid / brute crossover (``method="grid"`` is still the
+#: right tier for incremental one-disk-at-a-time workloads; ``auto`` now
+#: prefers the batch tier, which is faster than scalar grid at every n).
+#: Kept calibrated for callers that pick ``method="grid"`` explicitly.
 AUTO_GRID_MIN_N = 1024
 
-#: The grid kernel clamps its cell size so each axis has at most
+#: The grid/batch kernels clamp their cell size so each axis has at most
 #: ``GRID_CELLS_PER_AXIS_SCALE * sqrt(n)`` cells (~16n cells total):
 #: radii spanning many orders of magnitude (exponential chains) otherwise
 #: pick a median-radius cell so small that a single span-scale query
@@ -62,8 +77,8 @@ GRID_CELLS_PER_AXIS_SCALE = 4.0
 
 #: Fall back to the brute kernel when the average query disk's bounding
 #: box covers more than this fraction of the instance extent — the grid
-#: cannot prune such workloads and only adds per-cell Python overhead on
-#: top of the same point scans.
+#: cannot prune such workloads and only adds per-cell overhead on top of
+#: the same point scans.
 GRID_COVERAGE_FALLBACK = 0.25
 
 
@@ -76,56 +91,76 @@ def node_interference(
 ) -> np.ndarray:
     """Per-node receiver-centric interference vector ``I(v)`` (int64).
 
-    ``method`` is ``"brute"`` (vectorized O(n^2), chunked), ``"grid"``
-    (spatial index, near-linear for bounded density) or ``"auto"``
-    (brute below ``AUTO_GRID_MIN_N`` nodes, grid above; the grid kernel
-    itself degrades gracefully to brute on instances it cannot prune).
+    ``method`` is ``"brute"`` (vectorized O(n^2), blocked), ``"grid"``
+    (spatial index, scalar per-node queries), ``"batch"`` (fused
+    array-at-a-time queries over the grid CSR layout, optional numba
+    backend) or ``"auto"`` (brute below ``AUTO_BATCH_MIN_N`` nodes, batch
+    above; the grid-backed kernels degrade gracefully to brute on
+    instances they cannot prune).
     """
     n = topology.n
     if n == 0:
         return np.empty(0, dtype=np.int64)
     if method == "auto":
-        method = "grid" if n > AUTO_GRID_MIN_N else "brute"
-    if method not in ("brute", "grid"):
+        method = "batch" if n > AUTO_BATCH_MIN_N else "brute"
+    if method not in ("brute", "grid", "batch"):
         raise ValueError(f"unknown method {method!r}")
     with obs.span("interference.node", n=n, method=method):
         obs.count(f"interference.method.{method}")
         if method == "brute":
             return _interference_brute(topology, rtol, atol)
-        return _interference_grid(topology, rtol, atol)
+        if method == "grid":
+            return _interference_grid(topology, rtol, atol)
+        return _interference_batch(topology, rtol, atol)
 
 
 def _interference_brute(topology: Topology, rtol: float, atol: float) -> np.ndarray:
     pos = topology.positions
     r_eff = topology.radii * (1.0 + rtol) + atol
     n = pos.shape[0]
+    x = np.ascontiguousarray(pos[:, 0])
+    y = np.ascontiguousarray(pos[:, 1])
     counts = np.zeros(n, dtype=np.int64)
-    for start in range(0, n, _CHUNK):
-        stop = min(start + _CHUNK, n)
-        # rows: potential interferers u in [start, stop); cols: victims v
-        diff = pos[start:stop, None, :] - pos[None, :, :]
-        d = np.hypot(diff[..., 0], diff[..., 1])
-        covered = d <= r_eff[start:stop, None]
-        # never count self-interference
-        idx = np.arange(start, stop)
-        covered[idx - start, idx] = False
-        counts += covered.sum(axis=0)
+    for rs in range(0, n, _CHUNK):
+        re = min(rs + _CHUNK, n)
+        for cs in range(0, n, _CHUNK):
+            ce = min(cs + _CHUNK, n)
+            # rows: potential interferers u; cols: victims v. Per-axis
+            # deltas (never a 3-D diff) keep the transient at block size.
+            dx = x[rs:re, None] - x[None, cs:ce]
+            dy = y[rs:re, None] - y[None, cs:ce]
+            d = np.hypot(dx, dy)
+            covered = d <= r_eff[rs:re, None]
+            if rs == cs:
+                # never count self-interference
+                idx = np.arange(re - rs)
+                covered[idx, idx] = False
+            counts[cs:ce] += covered.sum(axis=0)
     return counts
 
 
-def _interference_grid(topology: Topology, rtol: float, atol: float) -> np.ndarray:
-    pos = topology.positions
-    radii = topology.radii
-    r_eff = radii * (1.0 + rtol) + atol
-    n = topology.n
+def _grid_cell_size(
+    pos: np.ndarray,
+    radii: np.ndarray,
+    r_eff: np.ndarray,
+    n: int,
+    *,
+    counter_prefix: str = "interference.grid",
+) -> float | None:
+    """Cell size for the grid-backed kernels, or ``None`` when the grid
+    cannot prune the instance and the caller should use brute instead.
+
+    Shared by the scalar grid kernel, the batch kernel and the fused
+    multi-instance kernel so every tier makes identical fallback choices.
+    """
     positive = radii[radii > 0]
     spans = pos.max(axis=0) - pos.min(axis=0)
     span = float(spans.max())
     if positive.size == 0 or span <= 0.0:
         # no transmitters, or all points coincident: nothing for a grid to
         # prune — the vectorized pass is both correct and cheapest
-        obs.count("interference.grid.fallback_degenerate")
-        return _interference_brute(topology, rtol, atol)
+        obs.count(f"{counter_prefix}.fallback_degenerate")
+        return None
     # Median positive radius is a good cell size for homogeneous radii, but
     # degenerates when radii span many orders of magnitude (exponential
     # chains): clamp the implied cell count so a span-scale query can never
@@ -141,24 +176,49 @@ def _interference_grid(topology: Topology, rtol: float, atol: float) -> np.ndarr
         if spans[axis] > 0.0:
             frac *= np.minimum(2.0 * r_eff / spans[axis], 1.0)
     if float(frac.mean()) > GRID_COVERAGE_FALLBACK:
-        obs.count("interference.grid.fallback_coverage")
+        obs.count(f"{counter_prefix}.fallback_coverage")
+        return None
+    return cell
+
+
+def _interference_grid(topology: Topology, rtol: float, atol: float) -> np.ndarray:
+    pos = topology.positions
+    radii = topology.radii
+    r_eff = radii * (1.0 + rtol) + atol
+    n = topology.n
+    cell = _grid_cell_size(pos, radii, r_eff, n)
+    if cell is None:
         return _interference_brute(topology, rtol, atol)
     index = GridIndex(pos, cell_size=cell)
     counts = np.zeros(n, dtype=np.int64)
     for u in range(n):
-        if radii[u] <= 0 and atol <= 0:
-            continue
+        # NB: zero-radius nodes are still transmitters — they cover nodes
+        # at distance exactly 0 (coincident), the same ``d <= r_eff``
+        # predicate every other kernel applies. Skipping them made grid
+        # disagree with brute/naive on coincident-node instances.
         hits = index.query_point(u, float(r_eff[u]))
         counts[hits] += 1
     return counts
+
+
+def _interference_batch(topology: Topology, rtol: float, atol: float) -> np.ndarray:
+    pos = topology.positions
+    radii = topology.radii
+    r_eff = radii * (1.0 + rtol) + atol
+    n = topology.n
+    cell = _grid_cell_size(
+        pos, radii, r_eff, n, counter_prefix="interference.batch"
+    )
+    if cell is None:
+        return _interference_brute(topology, rtol, atol)
+    index = GridIndex(pos, cell_size=cell)
+    return batch_covered_counts(index, r_eff)
 
 
 def node_interference_naive(
     topology: Topology, *, rtol: float = RTOL, atol: float = ATOL
 ) -> np.ndarray:
     """Pure-Python O(n^2) reference implementation (oracle/benchmark)."""
-    import math
-
     pos = topology.positions
     radii = topology.radii
     n = topology.n
@@ -221,15 +281,21 @@ def coverage_counts(topology: Topology, *, rtol: float = RTOL, atol: float = ATO
     pos = topology.positions
     r_eff = topology.radii * (1.0 + rtol) + atol
     n = topology.n
+    x = np.ascontiguousarray(pos[:, 0])
+    y = np.ascontiguousarray(pos[:, 1])
     interferers = np.zeros(n, dtype=np.int64)
     covered = np.zeros(n, dtype=np.int64)
-    for start in range(0, n, _CHUNK):
-        stop = min(start + _CHUNK, n)
-        diff = pos[start:stop, None, :] - pos[None, :, :]
-        d = np.hypot(diff[..., 0], diff[..., 1])
-        cov = d <= r_eff[start:stop, None]
-        idx = np.arange(start, stop)
-        cov[idx - start, idx] = False
-        interferers += cov.sum(axis=0)
-        covered[start:stop] = cov.sum(axis=1)
+    for rs in range(0, n, _CHUNK):
+        re = min(rs + _CHUNK, n)
+        for cs in range(0, n, _CHUNK):
+            ce = min(cs + _CHUNK, n)
+            dx = x[rs:re, None] - x[None, cs:ce]
+            dy = y[rs:re, None] - y[None, cs:ce]
+            d = np.hypot(dx, dy)
+            cov = d <= r_eff[rs:re, None]
+            if rs == cs:
+                idx = np.arange(re - rs)
+                cov[idx, idx] = False
+            interferers[cs:ce] += cov.sum(axis=0)
+            covered[rs:re] += cov.sum(axis=1)
     return interferers, covered

@@ -91,7 +91,13 @@ def _build(params: dict):
 
     pos = resolve_positions(params)
     unit = params.get("unit", 1.0)
-    if not isinstance(unit, (int, float)) or unit <= 0:
+    # bool is an int subclass: isinstance(True, int) passes, but True is
+    # not a meaningful UDG range — reject it explicitly
+    if (
+        isinstance(unit, bool)
+        or not isinstance(unit, (int, float))
+        or unit <= 0
+    ):
         raise ValueError("'unit' must be a positive number")
     topo = unit_disk_graph(pos, unit=float(unit))
     algorithm = params.get("algorithm")
@@ -106,6 +112,43 @@ def handle_ping(params: dict) -> dict:
     return {"pong": True}
 
 
+def _prepare_interference(params: dict):
+    """Build + validate one interference request (shared by the scalar
+    handler and the fused batch lane, so both reject identically)."""
+    topo, algorithm = _build(params)
+    measure = params.get("measure", "graph")
+    if measure not in MEASURES:
+        raise ValueError(
+            f"unknown measure {measure!r}; known: {sorted(MEASURES)}"
+        )
+    method = None
+    if measure != "sender":
+        method = params.get("method", "auto")
+        if method not in ("auto", "brute", "grid", "batch"):
+            raise ValueError("'method' must be auto, brute, grid or batch")
+    return topo, algorithm, measure, method
+
+
+def _interference_result(topo, algorithm, measure, value) -> dict:
+    return {
+        "n": int(topo.n),
+        "n_edges": int(len(topo.edges)),
+        "algorithm": algorithm,
+        "measure": measure,
+        "value": value,
+    }
+
+
+def _measure_from_vector(measure: str, vec) -> object:
+    """JSON-safe measure value from a per-node interference vector —
+    mirrors :data:`MEASURES` exactly (incl. empty-network conventions)."""
+    if measure == "graph":
+        return int(vec.max()) if vec.size else 0
+    if measure == "average":
+        return float(vec.mean()) if vec.size else 0.0
+    return [int(v) for v in vec]
+
+
 def handle_interference(params: dict) -> dict:
     """Interference of a (possibly algorithm-reduced) topology.
 
@@ -114,26 +157,11 @@ def handle_interference(params: dict) -> dict:
     :data:`MEASURES`, default ``"graph"``), ``method`` (kernel selector,
     default ``"auto"``).
     """
-    topo, algorithm = _build(params)
-    measure = params.get("measure", "graph")
-    fn = MEASURES.get(measure)
-    if fn is None:
-        raise ValueError(
-            f"unknown measure {measure!r}; known: {sorted(MEASURES)}"
-        )
-    kw = {}
-    if measure != "sender":
-        method = params.get("method", "auto")
-        if method not in ("auto", "brute", "grid"):
-            raise ValueError("'method' must be auto, brute or grid")
-        kw["method"] = method
-    return {
-        "n": int(topo.n),
-        "n_edges": int(len(topo.edges)),
-        "algorithm": algorithm,
-        "measure": measure,
-        "value": fn(topo, **kw),
-    }
+    topo, algorithm, measure, method = _prepare_interference(params)
+    kw = {} if method is None else {"method": method}
+    return _interference_result(
+        topo, algorithm, measure, MEASURES[measure](topo, **kw)
+    )
 
 
 def handle_build_topology(params: dict) -> dict:
@@ -223,13 +251,64 @@ def run_batch(kind: str, params_list: list[dict]) -> list[dict]:
     Items fail independently — a bad request in a batch yields an error
     *item*, never a failed batch. Each item is ``{"ok": True, "result":
     ...}`` or ``{"ok": False, "error": "<repr>"}``.
+
+    A coalesced ``interference`` micro-batch is *fused*: every item whose
+    method resolves to the batch tier (``auto``/``batch``) is computed by
+    one :func:`repro.interference.batch.node_interference_many` array pass
+    instead of a Python loop of scalar kernel calls — same results
+    bit-for-bit (the kernels' equivalence contract), same per-item error
+    independence.
     """
     import repro.experiments  # noqa: F401  (fresh interpreters: fill REGISTRY)
 
+    if kind == "interference" and len(params_list) > 1:
+        return _run_interference_batch(params_list)
     out = []
     for params in params_list:
         try:
             out.append({"ok": True, "result": run_request(kind, params)})
         except Exception as exc:
             out.append({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+    return out
+
+
+def _run_interference_batch(params_list: list[dict]) -> list[dict]:
+    """Fused interference lane (see :func:`run_batch`)."""
+    from repro import obs
+    from repro.interference.batch import node_interference_many
+
+    out: list[dict | None] = [None] * len(params_list)
+    prepared = []
+    for i, params in enumerate(params_list):
+        try:
+            prepared.append((i, *_prepare_interference(params)))
+        except Exception as exc:
+            out[i] = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    fuse = [p for p in prepared if p[4] in ("auto", "batch")]
+    vectors: dict[int, object] = {}
+    if len(fuse) > 1:
+        try:
+            many = node_interference_many([p[1] for p in fuse])
+            vectors = {p[0]: vec for p, vec in zip(fuse, many)}
+            obs.count("serve.interference.fused", len(fuse))
+        except Exception:
+            # fall back to per-item scalar kernels; results are identical
+            obs.count("serve.interference.fuse_fallback")
+            vectors = {}
+    for i, topo, algorithm, measure, method in prepared:
+        if out[i] is not None:
+            continue
+        try:
+            vec = vectors.get(i)
+            if vec is not None:
+                value = _measure_from_vector(measure, vec)
+            else:
+                kw = {} if method is None else {"method": method}
+                value = MEASURES[measure](topo, **kw)
+            out[i] = {
+                "ok": True,
+                "result": _interference_result(topo, algorithm, measure, value),
+            }
+        except Exception as exc:
+            out[i] = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
     return out

@@ -74,3 +74,92 @@ class TestGridIndex:
         pos = np.array([[0.0, 0.0], [1.0, 0.0]])
         index = GridIndex(pos, cell_size=0.3)
         assert 1 in index.query_radius((0.0, 0.0), 1.0)
+
+
+def _cluster_with_remote_positions(seed=0, n_cluster=40):
+    """A tight cluster plus one remote point: occupied columns span only
+    a few cells, so an unclamped wide query used to alias across rows."""
+    rng = np.random.default_rng(seed)
+    cluster = rng.uniform(0.0, 0.1, size=(n_cluster, 2))
+    return np.concatenate([cluster, [[5.0, 5.0]]], axis=0)
+
+
+class TestCellAliasingRegression:
+    """Regression: flat ids computed from unclamped cx/cy alias across
+    rows (cx == ncols wraps into column 0 of the next row), making wide
+    queries scan occupied cells twice and return duplicate indices."""
+
+    def test_wide_query_returns_unique_hits(self):
+        pos = _cluster_with_remote_positions()
+        index = GridIndex(pos, cell_size=0.05)
+        for center in ((0.05, 0.05), (5.0, 5.0), (2.5, 2.5)):
+            for radius in (8.0, 20.0, 100.0):
+                hits = index.query_radius(np.array(center), radius)
+                assert len(hits) == len(set(hits.tolist())), (center, radius)
+                assert len(hits) == pos.shape[0]  # radius covers everything
+
+    def test_wide_query_exact_counts(self):
+        pos = _cluster_with_remote_positions(seed=3)
+        index = GridIndex(pos, cell_size=0.05)
+        d = np.hypot(
+            pos[:, 0][:, None] - pos[:, 0][None, :],
+            pos[:, 1][:, None] - pos[:, 1][None, :],
+        )
+        for radius in (0.04, 0.5, 4.0, 7.5):
+            counts = index.count_within(pos, np.full(pos.shape[0], radius))
+            np.testing.assert_array_equal(counts, (d <= radius).sum(axis=1))
+
+    def test_wide_pairs_within_no_duplicates(self):
+        pos = _cluster_with_remote_positions(seed=5)
+        index = GridIndex(pos, cell_size=0.05)
+        pairs = index.pairs_within(10.0)
+        as_tuples = [tuple(p) for p in pairs]
+        assert len(as_tuples) == len(set(as_tuples))
+        n = pos.shape[0]
+        assert len(as_tuples) == n * (n - 1) // 2  # every pair, once
+
+
+class TestBatchQueries:
+    def test_query_pairs_matches_scalar(self, random_positions):
+        index = GridIndex(random_positions, cell_size=0.5)
+        m = len(random_positions)
+        radii = np.linspace(0.1, 1.5, m)
+        qq, hits = index.query_pairs(random_positions, radii)
+        got = {}
+        for q, h in zip(qq.tolist(), hits.tolist()):
+            got.setdefault(q, []).append(h)
+        for i in range(m):
+            want = index.query_radius(random_positions[i], float(radii[i]))
+            assert got.get(i, []) == want.tolist(), i
+
+    def test_query_pairs_scalar_radius_broadcasts(self, random_positions):
+        index = GridIndex(random_positions, cell_size=0.4)
+        qq, hits = index.query_pairs(random_positions[:7], 0.8)
+        counts = index.count_within(random_positions[:7], 0.8)
+        np.testing.assert_array_equal(np.bincount(qq, minlength=7), counts)
+
+    def test_query_pairs_negative_radius_raises(self, random_positions):
+        index = GridIndex(random_positions, cell_size=0.4)
+        with pytest.raises(ValueError):
+            index.query_pairs(random_positions[:3], [-1.0, 0.5, 0.5])
+        with pytest.raises(ValueError):
+            index.count_within(random_positions[:3], [0.5, -0.1, 0.5])
+
+    def test_sparse_cell_space_uses_searchsorted_path(self):
+        # a tiny cell size over a wide extent makes the flat cell space
+        # too large for the dense lookup tables: same answers either way
+        pos = _cluster_with_remote_positions(seed=7)
+        index = GridIndex(pos, cell_size=1e-4)
+        assert index._dense_spans() is None
+        counts = index.count_within(pos[:3], np.full(3, 10.0))
+        np.testing.assert_array_equal(counts, np.full(3, pos.shape[0]))
+
+    def test_chunked_batch_matches_unchunked(self, random_positions, monkeypatch):
+        import repro.geometry.spatial as spatial
+
+        index = GridIndex(random_positions, cell_size=0.4)
+        want = index.count_within(random_positions, 1.0)
+        monkeypatch.setattr(spatial, "BATCH_PAIR_CHUNK", 16)
+        np.testing.assert_array_equal(
+            index.count_within(random_positions, 1.0), want
+        )

@@ -1,0 +1,207 @@
+"""Batch interference kernel tier: equivalence, dispatch, backends.
+
+The contract under test: ``method="batch"`` (and the fused
+multi-instance :func:`node_interference_many`) agree **bit-for-bit** with
+brute/grid/naive on every instance family, the ``auto`` dispatcher
+crosses over to the batch tier, and the optional numba backend degrades
+to pure numpy without changing a single count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import (
+    cluster_with_remote,
+    exponential_chain,
+    random_udg_connected,
+    two_exponential_chains,
+)
+from repro.highway.linear import linear_chain
+from repro.interference.batch import (
+    HAVE_NUMBA,
+    active_backend,
+    node_interference_many,
+)
+from repro.interference.receiver import (
+    AUTO_BATCH_MIN_N,
+    node_interference,
+    node_interference_naive,
+)
+from repro.model.topology import Topology
+from repro.model.udg import unit_disk_graph
+from repro.topologies import build
+
+TOLERANCES = [{}, {"rtol": 1e-6, "atol": 1e-9}]
+
+
+def _instances():
+    out = []
+    for seed in range(3):
+        pos = random_udg_connected(80 + 30 * seed, side=4.0, seed=seed)
+        out.append(build("emst", unit_disk_graph(pos)))
+    out.append(build("emst", unit_disk_graph(cluster_with_remote(60, seed=1))))
+    out.append(linear_chain(exponential_chain(64)))
+    pos, _ = two_exponential_chains(8)
+    out.append(build("nnf", unit_disk_graph(pos, unit=512.0)))
+    return out
+
+
+@pytest.mark.parametrize("tol", TOLERANCES, ids=["default", "loose"])
+class TestBatchEquivalence:
+    def test_batch_matches_all_kernels(self, tol):
+        for topo in _instances():
+            want = node_interference(topo, method="brute", **tol)
+            np.testing.assert_array_equal(
+                node_interference(topo, method="batch", **tol), want
+            )
+            np.testing.assert_array_equal(
+                node_interference(topo, method="grid", **tol), want
+            )
+            if topo.n <= 150:
+                np.testing.assert_array_equal(
+                    node_interference_naive(topo, **tol), want
+                )
+
+    def test_many_matches_per_instance(self, tol):
+        topos = _instances()
+        many = node_interference_many(topos, **tol)
+        assert len(many) == len(topos)
+        for topo, vec in zip(topos, many):
+            np.testing.assert_array_equal(
+                vec, node_interference(topo, method="brute", **tol)
+            )
+
+    def test_many_handles_degenerate_instances(self, tol):
+        # empty, coincident (degenerate-fallback) and regular instances
+        # mixed in one fused call, in arbitrary order
+        topos = [
+            Topology.empty(np.zeros((0, 2))),
+            Topology(np.zeros((5, 2)), [(0, 1), (2, 3)]),
+            build(
+                "emst",
+                unit_disk_graph(random_udg_connected(50, side=3.0, seed=2)),
+            ),
+            Topology.empty(np.random.default_rng(1).uniform(size=(7, 2))),
+        ]
+        many = node_interference_many(topos, **tol)
+        for topo, vec in zip(topos, many):
+            np.testing.assert_array_equal(
+                vec, node_interference(topo, method="brute", **tol)
+            )
+
+
+class TestDispatch:
+    def test_auto_constant_sane(self):
+        assert isinstance(AUTO_BATCH_MIN_N, int)
+        assert 100 <= AUTO_BATCH_MIN_N <= 10_000
+
+    def test_auto_uses_batch_above_crossover(self):
+        from repro import obs
+
+        pos = random_udg_connected(AUTO_BATCH_MIN_N + 50, side=8.0, seed=0)
+        topo = build("emst", unit_disk_graph(pos))
+        with obs.capture() as trace:
+            node_interference(topo, method="auto")
+        assert trace.counters.get("interference.method.batch", 0) == 1
+
+    def test_auto_uses_brute_below_crossover(self):
+        from repro import obs
+
+        pos = random_udg_connected(40, side=3.0, seed=1)
+        topo = build("emst", unit_disk_graph(pos))
+        with obs.capture() as trace:
+            node_interference(topo, method="auto")
+        assert trace.counters.get("interference.method.brute", 0) == 1
+
+    def test_unknown_method_rejected(self):
+        topo = build(
+            "emst", unit_disk_graph(random_udg_connected(20, side=2.0, seed=0))
+        )
+        with pytest.raises(ValueError, match="unknown method"):
+            node_interference(topo, method="vectorized")
+
+
+class TestBackendSelection:
+    def test_active_backend_value(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_BACKEND", raising=False)
+        assert active_backend() == ("numba" if HAVE_NUMBA else "numpy")
+
+    def test_forced_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_BACKEND", "numpy")
+        assert active_backend() == "numpy"
+
+    def test_forced_numba_without_numba_raises(self, monkeypatch):
+        if HAVE_NUMBA:
+            pytest.skip("numba installed; forcing it is legal here")
+        monkeypatch.setenv("REPRO_BATCH_BACKEND", "numba")
+        with pytest.raises(RuntimeError, match="numba"):
+            active_backend()
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_BACKEND", "cuda")
+        with pytest.raises(ValueError, match="REPRO_BATCH_BACKEND"):
+            active_backend()
+
+    def test_numpy_backend_used_under_force(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_BACKEND", "numpy")
+        topo = build(
+            "emst", unit_disk_graph(random_udg_connected(60, side=3.0, seed=4))
+        )
+        np.testing.assert_array_equal(
+            node_interference(topo, method="batch"),
+            node_interference(topo, method="brute"),
+        )
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_numba_backend_bit_identical(self, monkeypatch):
+        for topo in _instances():
+            monkeypatch.setenv("REPRO_BATCH_BACKEND", "numba")
+            got = node_interference(topo, method="batch")
+            monkeypatch.setenv("REPRO_BATCH_BACKEND", "numpy")
+            want = node_interference(topo, method="batch")
+            np.testing.assert_array_equal(got, want)
+
+
+class TestObsAttribution:
+    def test_batch_span_and_counters(self):
+        from repro import obs
+
+        topo = build(
+            "emst", unit_disk_graph(random_udg_connected(80, side=4.0, seed=5))
+        )
+        with obs.capture() as trace:
+            node_interference(topo, method="batch")
+        span = next(
+            s
+            for s, _ in trace.snapshot().iter_spans()
+            if s.name == "interference.node"
+        )
+        assert span.attrs["method"] == "batch"
+        assert trace.counters.get("interference.method.batch", 0) == 1
+
+    def test_many_span(self):
+        from repro import obs
+
+        topos = _instances()[:3]
+        with obs.capture() as trace:
+            node_interference_many(topos)
+        span = next(
+            s
+            for s, _ in trace.snapshot().iter_spans()
+            if s.name == "interference.node_many"
+        )
+        assert span.attrs["instances"] == 3
+        assert trace.counters.get("interference.method.batch_many", 0) == 1
+
+    def test_high_coverage_falls_back_to_brute(self):
+        from repro import obs
+
+        # every disk covers most of the extent: the grid cannot prune
+        pos = np.random.default_rng(0).uniform(0.0, 1.0, size=(40, 2))
+        topo = Topology(pos, [(i, (i + 20) % 40) for i in range(20)])
+        with obs.capture() as trace:
+            vec = node_interference(topo, method="batch")
+        assert trace.counters.get("interference.batch.fallback_coverage", 0) == 1
+        np.testing.assert_array_equal(
+            vec, node_interference(topo, method="brute")
+        )

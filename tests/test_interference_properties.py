@@ -38,8 +38,10 @@ TOLERANCES = [
 def _assert_kernels_agree(topology, tol):
     brute = node_interference(topology, method="brute", **tol)
     grid = node_interference(topology, method="grid", **tol)
+    batch = node_interference(topology, method="batch", **tol)
     naive = node_interference_naive(topology, **tol)
     np.testing.assert_array_equal(grid, brute)
+    np.testing.assert_array_equal(batch, brute)
     np.testing.assert_array_equal(brute, naive)
 
 
@@ -105,6 +107,31 @@ class TestKernelsAgree:
         _assert_kernels_agree(coincident, tol)
         edge_free = Topology.empty(np.random.default_rng(0).uniform(size=(12, 2)))
         _assert_kernels_agree(edge_free, tol)
+
+    def test_coincident_zero_radius_nodes(self, tol):
+        """Regression: the grid kernel used to skip zero-radius
+        transmitters, but a zero-radius disk still covers nodes at
+        distance exactly zero — brute/naive count them, grid must too."""
+        # three coincident isolated nodes (radius 0) plus a connected far
+        # pair, so the instance has positive radii and a real span (the
+        # grid path stays active rather than falling back to brute)
+        pos = np.array(
+            [[0.0, 0.0], [0.0, 0.0], [0.0, 0.0], [10.0, 0.0], [10.0, 0.1]]
+        )
+        topology = Topology(pos, [(3, 4)])
+        assert topology.radii[0] == 0.0
+        _assert_kernels_agree(topology, tol)
+        vec = node_interference(topology, method="grid", **tol)
+        # each coincident zero-radius node is covered by the other two
+        np.testing.assert_array_equal(vec, [2, 2, 2, 1, 1])
+
+    def test_coincident_cluster_among_spread_nodes(self, tol):
+        rng = np.random.default_rng(42)
+        spread = rng.uniform(0.0, 4.0, size=(30, 2))
+        stack = np.repeat(rng.uniform(1.0, 3.0, size=(1, 2)), 4, axis=0)
+        pos = np.concatenate([spread, stack], axis=0)
+        udg = unit_disk_graph(pos, unit=1.5)
+        _assert_kernels_agree(build("emst", udg), tol)
 
 
 class TestAutoCrossover:

@@ -1,0 +1,200 @@
+"""Differential tests for the stream engine's vectorized bulk-apply.
+
+:meth:`StreamEngine.apply_many` takes a fused array path for large,
+dense batches. The contract is strict: *digest-identical* state versus
+the per-event scalar loop — same counts, same snapshot bytes, same
+``StreamStateError`` rejections with the same applied prefix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stream import StreamConfig, StreamEngine, StreamEvent
+from repro.stream.engine import _BULK_MIN_EVENTS, StreamStateError
+from repro.stream.events import random_stream_events
+
+#: Dense-regime parameters: enough nodes per grid cell that apply_many
+#: actually dispatches to the bulk path (see the density gate).
+DENSE = dict(capacity=2000, side=20.0, r_max=1.0)
+
+
+def _config(**over):
+    params = dict(DENSE)
+    params.update(over)
+    side = params.pop("side")
+    del side  # side parameterizes the event stream, not the engine
+    return StreamConfig(capacity=params["capacity"], r_max=params["r_max"])
+
+
+def _events(n, seed, family="uniform", **over):
+    params = dict(DENSE)
+    params.update(over)
+    return random_stream_events(
+        n,
+        capacity=params["capacity"],
+        side=params["side"],
+        r_max=params["r_max"],
+        seed=seed,
+        family=family,
+    )
+
+
+def _scalar_reference(config, events):
+    engine = StreamEngine(config)
+    for event in events:
+        engine.apply(event)
+    return engine
+
+
+class TestBulkEqualsScalar:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("family", ["uniform", "clustered", "mobile"])
+    def test_digest_identical(self, seed, family):
+        config = _config()
+        events = _events(3 * _BULK_MIN_EVENTS, seed, family=family)
+        want = _scalar_reference(config, events)
+
+        bulk = StreamEngine(config)
+        seq = bulk.apply_many(events)
+        assert seq == len(events) == bulk.seq
+        assert bulk.state_digest() == want.state_digest()
+        assert bulk.state_json() == want.state_json()
+        np.testing.assert_array_equal(
+            bulk.node_interference(), want.node_interference()
+        )
+
+    def test_chunked_dispatch_digest_identical(self):
+        config = _config()
+        events = _events(6 * _BULK_MIN_EVENTS, 11)
+        want = _scalar_reference(config, events)
+
+        bulk = StreamEngine(config)
+        for lo in range(0, len(events), _BULK_MIN_EVENTS):
+            bulk.apply_many(events[lo : lo + _BULK_MIN_EVENTS])
+        assert bulk.state_digest() == want.state_digest()
+
+    def test_bulk_after_scalar_warmup(self):
+        """Scalar ops must invalidate the float64 mirror the bulk path
+        caches — interleave them and require identical digests."""
+        config = _config()
+        events = _events(4 * _BULK_MIN_EVENTS, 23)
+        want = _scalar_reference(config, events)
+
+        mixed = StreamEngine(config)
+        cut = _BULK_MIN_EVENTS // 3
+        for event in events[:cut]:  # scalar prefix
+            mixed.apply(event)
+        mixed.apply_many(events[cut : 3 * _BULK_MIN_EVENTS])  # bulk middle
+        for event in events[3 * _BULK_MIN_EVENTS :]:  # scalar suffix
+            mixed.apply(event)
+        assert mixed.state_digest() == want.state_digest()
+
+    def test_recompute_counts_agrees(self):
+        config = _config()
+        engine = StreamEngine(config)
+        engine.apply_many(_events(2 * _BULK_MIN_EVENTS, 5))
+        np.testing.assert_array_equal(
+            engine.node_interference(), engine.recompute_counts()
+        )
+
+
+class TestBulkRejections:
+    def test_identical_error_and_prefix(self):
+        config = _config()
+        events = _events(2 * _BULK_MIN_EVENTS, 3)
+        # corrupt one event past the bulk threshold: leave of a node that
+        # was never joined
+        bad = _BULK_MIN_EVENTS + 37
+        events[bad] = StreamEvent("leave", config.capacity - 1)
+
+        want = StreamEngine(config)
+        with pytest.raises(StreamStateError) as scalar_err:
+            for event in events:
+                want.apply(event)
+
+        bulk = StreamEngine(config)
+        with pytest.raises(StreamStateError) as bulk_err:
+            bulk.apply_many(events)
+        assert str(bulk_err.value) == str(scalar_err.value)
+        # the applied prefix stands, identically
+        assert bulk.seq == want.seq == bad
+        assert bulk.state_digest() == want.state_digest()
+
+    def test_out_of_range_node_rejected(self):
+        config = _config()
+        events = _events(_BULK_MIN_EVENTS, 4)
+        events.append(StreamEvent("join", config.capacity, 1.0, 1.0, 0.5))
+        engine = StreamEngine(config)
+        with pytest.raises(StreamStateError):
+            engine.apply_many(events)
+        assert engine.seq == _BULK_MIN_EVENTS
+
+    def test_nonfinite_coordinates_rejected_at_construction(self):
+        # non-finite coordinates never reach either apply path: the event
+        # type itself rejects them, so the bulk kernel's finite-state
+        # guard is pure defence in depth
+        with pytest.raises(ValueError, match="finite"):
+            StreamEvent("join", 0, float("nan"), 1.0, 0.5)
+        with pytest.raises(ValueError, match="finite"):
+            StreamEvent("move", 0, 1.0, float("inf"))
+
+
+class TestBulkEdgeCases:
+    def _force_bulk(self, config, events):
+        """Drive the bulk kernel directly, bypassing the density gate."""
+        engine = StreamEngine(config)
+        seq = engine._apply_many_bulk(events)
+        assert seq is not None, "bulk path refused a valid batch"
+        return engine
+
+    def test_join_leave_join_same_node(self):
+        config = StreamConfig(capacity=16, r_max=2.0)
+        events = [
+            StreamEvent("join", 1, 0.0, 0.0, 1.0),
+            StreamEvent("join", 2, 0.5, 0.0, 1.0),
+            StreamEvent("leave", 1),
+            StreamEvent("join", 1, 3.0, 3.0, 0.5),
+            StreamEvent("move", 2, 3.2, 3.0, None),
+            StreamEvent("leave", 2),
+            StreamEvent("join", 3, 3.1, 3.0, 0.25),
+        ]
+        want = _scalar_reference(config, events)
+        got = self._force_bulk(config, events)
+        assert got.state_digest() == want.state_digest()
+
+    def test_coincident_zero_radius_joins(self):
+        config = StreamConfig(capacity=8, r_max=1.0)
+        events = [StreamEvent("join", i, 2.0, 2.0, 0.0) for i in range(3)]
+        events.append(StreamEvent("join", 5, 4.0, 4.0, 0.0))
+        want = _scalar_reference(config, events)
+        got = self._force_bulk(config, events)
+        assert got.state_digest() == want.state_digest()
+        assert [got.interference_of(i) for i in (0, 1, 2, 5)] == [2, 2, 2, 0]
+
+    def test_move_chain_keeps_radius(self):
+        config = StreamConfig(capacity=8, r_max=2.0)
+        events = [
+            StreamEvent("join", 0, 0.0, 0.0, 1.5),
+            StreamEvent("join", 1, 1.0, 0.0, 0.5),
+            StreamEvent("move", 0, 0.5, 0.5, None),
+            StreamEvent("move", 0, 1.0, 1.0, None),
+            StreamEvent("move", 1, 1.0, 0.9, 0.75),
+        ]
+        want = _scalar_reference(config, events)
+        got = self._force_bulk(config, events)
+        assert got.state_digest() == want.state_digest()
+
+    def test_small_sparse_batch_uses_scalar_path(self):
+        """The density gate must keep tiny batches off the bulk path."""
+        config = _config()
+        engine = StreamEngine(config)
+        called = {"bulk": False}
+        original = engine._apply_many_bulk
+
+        def spy(events):
+            called["bulk"] = True
+            return original(events)
+
+        engine._apply_many_bulk = spy
+        engine.apply_many(_events(64, 9))
+        assert not called["bulk"]
