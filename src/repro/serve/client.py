@@ -51,22 +51,34 @@ from dataclasses import dataclass
 from repro.serve.protocol import (
     ERR_INTERNAL,
     ERR_OVERLOADED,
+    ERR_WRONG_SHARD,
     IDEMPOTENT_TYPES,
     MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
     ProtocolError,
     decode_message,
     encode_message,
 )
 
+#: Most ``wrong_shard`` redirects one request() call will follow before
+#: giving up — bounds pathological redirect loops between stale routers.
+MAX_REDIRECTS = 3
+
 
 class ServeError(RuntimeError):
-    """An error response from the server (code + human-readable message)."""
+    """An error response from the server (code + human-readable message).
 
-    def __init__(self, code: str, message: str, *, request_id=None):
+    ``details`` is the error's optional structured payload (e.g.
+    ``wrong_shard`` carries the owning shards and endpoints).
+    """
+
+    def __init__(self, code: str, message: str, *, request_id=None,
+                 details: dict | None = None):
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
         self.request_id = request_id
+        self.details = details or {}
 
 
 class ServeRetryError(ConnectionError):
@@ -132,8 +144,8 @@ class ServeClient:
         self._pending: dict[object, asyncio.Future] = {}
         self._ids = itertools.count(1)
         self._closed = False
-        self._host: str | None = None
-        self._port: int | None = None
+        self._endpoints: list[tuple[str, int]] = []
+        self._endpoint_idx = 0
         self._limit = MAX_LINE_BYTES
         self._retry: RetryPolicy | None = None
         self._rng = random.Random(0)
@@ -147,18 +159,47 @@ class ServeClient:
     @classmethod
     async def connect(
         cls, host: str = "127.0.0.1", port: int = 0, *,
+        endpoints=None,
         limit: int = MAX_LINE_BYTES,
         retry: RetryPolicy | None = None,
     ) -> "ServeClient":
-        reader, writer = await asyncio.open_connection(host, port, limit=limit)
+        """Open a connection. ``endpoints`` (a sequence of ``(host, port)``
+        pairs) lists equivalent servers: the first reachable one is used,
+        and reconnects cycle through the rest — so one dead router does
+        not strand retried requests."""
+        if endpoints:
+            eps = [(str(h), int(p)) for h, p in endpoints]
+        else:
+            eps = [(host, port)]
+        reader = writer = None
+        last: BaseException | None = None
+        for i, (h, p) in enumerate(eps):
+            try:
+                reader, writer = await asyncio.open_connection(h, p, limit=limit)
+            except (ConnectionError, OSError) as exc:
+                last = exc
+                continue
+            idx = i
+            break
+        else:
+            raise ConnectionError(
+                f"no endpoint reachable out of {len(eps)}; last error: {last!r}"
+            )
         client = cls(reader, writer)
-        client._host = host
-        client._port = port
+        client._endpoints = eps
+        client._endpoint_idx = idx
         client._limit = limit
         client._retry = retry
         if retry is not None:
             client._rng = random.Random(retry.seed)
         return client
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The ``(host, port)`` this client currently targets."""
+        if not self._endpoints:
+            raise RuntimeError("client was not built via connect()")
+        return self._endpoints[self._endpoint_idx]
 
     async def _read_loop(self) -> None:
         error: BaseException = ConnectionResetError("server closed the connection")
@@ -167,7 +208,7 @@ class ServeClient:
                 line = await self._reader.readline()
                 if not line:
                     break
-                message = decode_message(line)
+                message = decode_message(line, limit=self._limit)
                 if "id" not in message and "push" in message:
                     queue = self._sub_queues.get(message.get("sub"), self.pushes)
                     queue.put_nowait(message)
@@ -185,13 +226,29 @@ class ServeClient:
                     )
             self._pending.clear()
 
-    async def _reconnect(self) -> None:
-        """Replace a dead connection (retry path; subscriptions do not
-        survive — the server drops them with the old connection)."""
-        if self._host is None:
+    async def _reconnect(
+        self, target: tuple[str, int] | None = None, *, advance: bool = True,
+    ) -> None:
+        """Replace a dead (or redirected) connection.
+
+        With no ``target``, advances round-robin through the endpoint
+        list — consecutive reconnects try each configured server in turn
+        before the retry budget runs out. A ``target`` (shard redirect)
+        is adopted into the list and becomes the current endpoint.
+        Subscriptions do not survive — the server drops them with the
+        old connection.
+        """
+        if not self._endpoints:
             raise ConnectionResetError(
                 "connection lost and client was not built via connect()"
             )
+        if target is not None:
+            target = (str(target[0]), int(target[1]))
+            if target not in self._endpoints:
+                self._endpoints.append(target)
+            self._endpoint_idx = self._endpoints.index(target)
+        elif advance and len(self._endpoints) > 1:
+            self._endpoint_idx = (self._endpoint_idx + 1) % len(self._endpoints)
         self._reader_task.cancel()
         try:
             await self._reader_task
@@ -202,8 +259,9 @@ class ServeClient:
         except Exception:
             pass
         self._sub_queues.clear()
+        host, port = self._endpoints[self._endpoint_idx]
         self._reader, self._writer = await asyncio.open_connection(
-            self._host, self._port, limit=self._limit
+            host, port, limit=self._limit
         )
         self._reader_task = asyncio.create_task(
             self._read_loop(), name="serve-client-reader"
@@ -221,14 +279,14 @@ class ServeClient:
             # nobody will ever resolve
             raise ConnectionResetError("connection lost")
         req_id = next(self._ids)
-        payload: dict = {"id": req_id, "type": kind}
+        payload: dict = {"id": req_id, "type": kind, "v": PROTOCOL_VERSION}
         if params:
             payload["params"] = params
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
         future = asyncio.get_running_loop().create_future()
         self._pending[req_id] = future
-        self._writer.write(encode_message(payload))
+        self._writer.write(encode_message(payload, limit=self._limit))
         # Backpressure only when the transport buffer actually backs up —
         # an unconditional drain() costs a scheduling round trip per
         # request, which dominates small pipelined requests.
@@ -245,7 +303,32 @@ class ServeClient:
             err.get("code", ERR_INTERNAL),
             err.get("message", "unknown error"),
             request_id=response.get("id"),
+            details=err.get("details"),
         )
+
+    async def _send_following_redirects(
+        self, kind: str, params: dict | None, deadline_ms: float | None,
+    ) -> dict:
+        """``request_raw`` plus transparent ``wrong_shard`` redirects.
+
+        A ``wrong_shard`` error names the owning shard's endpoint in its
+        ``details``; the client reconnects there (adopting it into the
+        endpoint list) and re-sends, at most :data:`MAX_REDIRECTS` hops.
+        Safe for any kind: the wrong shard refused before executing.
+        """
+        for _ in range(MAX_REDIRECTS):
+            response = await self.request_raw(
+                kind, params, deadline_ms=deadline_ms
+            )
+            err = (response.get("error") or {}) if not response.get("ok") else {}
+            if err.get("code") != ERR_WRONG_SHARD:
+                return response
+            endpoints = (err.get("details") or {}).get("endpoints") or []
+            if not endpoints:
+                return response  # nowhere to go: surface the error
+            host, port = endpoints[0]
+            await self._reconnect((host, port))
+        return response
 
     async def request(
         self, kind: str, params: dict | None = None, *,
@@ -253,14 +336,15 @@ class ServeClient:
     ) -> dict:
         """Send one request; return its ``result`` or raise :class:`ServeError`.
 
-        With a :class:`RetryPolicy` configured, transient failures are
-        retried per the module docstring; the terminal failure is
-        :class:`ServeRetryError`.
+        ``wrong_shard`` redirects are always followed transparently
+        (bounded by :data:`MAX_REDIRECTS`). With a :class:`RetryPolicy`
+        configured, transient failures are additionally retried per the
+        module docstring; the terminal failure is :class:`ServeRetryError`.
         """
         policy = self._retry
         if policy is None:
             return self._unwrap(
-                await self.request_raw(kind, params, deadline_ms=deadline_ms)
+                await self._send_following_redirects(kind, params, deadline_ms)
             )
         last: BaseException | None = None
         for attempt in range(policy.attempts):
@@ -269,8 +353,8 @@ class ServeClient:
             try:
                 if self._reader_task.done():
                     await self._reconnect()
-                response = await self.request_raw(
-                    kind, params, deadline_ms=deadline_ms
+                response = await self._send_following_redirects(
+                    kind, params, deadline_ms
                 )
             except (ConnectionError, OSError) as exc:
                 if kind not in IDEMPOTENT_TYPES:

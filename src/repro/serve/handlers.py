@@ -14,12 +14,27 @@ Instances are described either inline (``params["positions"]`` as an
 
 Generator names resolve against the :data:`GENERATORS` whitelist — the
 server never calls arbitrary attributes from a request.
+
+Sharded execution
+-----------------
+An ``interference`` request may carry two cluster-oriented params:
+
+- ``region`` (``[x0, y0, x1, y1]``): restrict the reported counts to
+  nodes inside the closed rectangle (the full instance still determines
+  the counts). The result gains ``ids`` (global node indices, sorted).
+- ``shard`` (``{"index": i, "grid": TileGrid.to_jsonable()}``): compute
+  the *partial* for one tile — counts of the nodes tile ``i`` owns,
+  derived from the owned-plus-ghost subset only. Exact by the ghost
+  invariant (:func:`repro.cluster.tiles.required_ghost`, validated
+  here); the front-end merges partials by concatenation
+  (:meth:`repro.cluster.ClusterRouter.merge`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.tiles import TileGrid, required_ghost
 from repro.geometry import generators as _generators
 from repro.interference.receiver import (
     average_interference,
@@ -33,6 +48,11 @@ from repro.model.udg import unit_disk_graph
 #: request from monopolizing a worker; larger studies belong in sweeps.
 MAX_REQUEST_NODES = 4096
 
+#: Larger cap for shard partials: a cluster exists precisely to split
+#: instances the single-request cap would refuse, and its front-end (not
+#: an arbitrary client) sizes the per-shard work.
+MAX_SHARD_REQUEST_NODES = 1 << 20
+
 #: name -> positions generator (all return an ``(n, d)`` float array).
 GENERATORS = {
     "exponential_chain": _generators.exponential_chain,
@@ -41,6 +61,7 @@ GENERATORS = {
     "random_uniform_square": _generators.random_uniform_square,
     "random_udg_connected": _generators.random_udg_connected,
     "cluster_with_remote": _generators.cluster_with_remote,
+    "random_blobs": _generators.random_blobs,
     "grid_points": _generators.grid_points,
 }
 
@@ -53,7 +74,7 @@ MEASURES = {
 }
 
 
-def resolve_positions(params: dict) -> np.ndarray:
+def resolve_positions(params: dict, *, max_nodes: int | None = None) -> np.ndarray:
     """Materialize the instance a request describes (see module doc)."""
     has_inline = "positions" in params
     has_spec = "generator" in params
@@ -77,19 +98,17 @@ def resolve_positions(params: dict) -> np.ndarray:
             raise ValueError("'args' must be an object of generator kwargs")
         pos = np.asarray(fn(**args), dtype=np.float64)
     n = pos.shape[0]
-    if n > MAX_REQUEST_NODES:
+    if max_nodes is None:
+        max_nodes = MAX_REQUEST_NODES
+    if n > max_nodes:
         raise ValueError(
             f"instance of {n} nodes exceeds the per-request cap "
-            f"({MAX_REQUEST_NODES}); use the sweep runner for large studies"
+            f"({max_nodes}); use the sweep runner for large studies"
         )
     return pos
 
 
-def _build(params: dict):
-    """Shared UDG + optional registry-algorithm construction."""
-    from repro.topologies import build
-
-    pos = resolve_positions(params)
+def _validate_unit(params: dict) -> float:
     unit = params.get("unit", 1.0)
     # bool is an int subclass: isinstance(True, int) passes, but True is
     # not a meaningful UDG range — reject it explicitly
@@ -99,7 +118,16 @@ def _build(params: dict):
         or unit <= 0
     ):
         raise ValueError("'unit' must be a positive number")
-    topo = unit_disk_graph(pos, unit=float(unit))
+    return float(unit)
+
+
+def _build(params: dict):
+    """Shared UDG + optional registry-algorithm construction."""
+    from repro.topologies import build
+
+    pos = resolve_positions(params)
+    unit = _validate_unit(params)
+    topo = unit_disk_graph(pos, unit=unit)
     algorithm = params.get("algorithm")
     if algorithm is not None:
         if not isinstance(algorithm, str):
@@ -149,19 +177,145 @@ def _measure_from_vector(measure: str, vec) -> object:
     return [int(v) for v in vec]
 
 
+def _validate_region(region) -> tuple[float, float, float, float]:
+    if (
+        not isinstance(region, (list, tuple))
+        or len(region) != 4
+        or any(
+            isinstance(b, bool) or not isinstance(b, (int, float))
+            for b in region
+        )
+    ):
+        raise ValueError("'region' must be [x0, y0, x1, y1]")
+    x0, y0, x1, y1 = (float(b) for b in region)
+    if not (x0 <= x1 and y0 <= y1):
+        raise ValueError("'region' must satisfy x0 <= x1 and y0 <= y1")
+    return x0, y0, x1, y1
+
+
+def _region_mask(positions: np.ndarray, region) -> np.ndarray:
+    """Closed-rectangle membership per node."""
+    x0, y0, x1, y1 = _validate_region(region)
+    return (
+        (positions[:, 0] >= x0)
+        & (positions[:, 0] <= x1)
+        & (positions[:, 1] >= y0)
+        & (positions[:, 1] <= y1)
+    )
+
+
 def handle_interference(params: dict) -> dict:
     """Interference of a (possibly algorithm-reduced) topology.
 
     params: ``positions``/``generator``(+``args``), ``unit``,
     ``algorithm`` (registry name, optional), ``measure`` (one of
     :data:`MEASURES`, default ``"graph"``), ``method`` (kernel selector,
-    default ``"auto"``).
+    default ``"auto"``), plus the cluster params ``region`` / ``shard``
+    (module docstring).
     """
+    if "shard" in params:
+        return _shard_interference(params)
     topo, algorithm, measure, method = _prepare_interference(params)
     kw = {} if method is None else {"method": method}
+    region = params.get("region")
+    if region is not None:
+        if measure == "sender":
+            raise ValueError(
+                "'region' does not apply to the sender measure (a global "
+                "scalar, not a per-node quantity)"
+            )
+        mask = _region_mask(topo.positions, region)
+        vec = node_interference(topo, **kw)
+        result = _interference_result(
+            topo, algorithm, measure, _measure_from_vector(measure, vec[mask])
+        )
+        # a region query reports on region nodes only; the global edge
+        # count is not its business (and a cluster answers it from the
+        # region's owner shards alone, which cannot see all edges)
+        result.pop("n_edges", None)
+        result["ids"] = [int(i) for i in np.flatnonzero(mask)]
+        return result
     return _interference_result(
         topo, algorithm, measure, MEASURES[measure](topo, **kw)
     )
+
+
+def _shard_interference(params: dict) -> dict:
+    """One shard's partial: counts of the nodes its tile owns.
+
+    The worker materializes the *full* instance (deterministically — the
+    router only fans out specs every worker resolves identically),
+    subsets to owned + ghost nodes, and computes on the sub-UDG alone.
+    Exactness of the owned counts follows from the ghost invariant,
+    which is validated, not assumed. ``n_edges_owned`` counts sub-UDG
+    edges whose smaller global endpoint is owned, so edge totals sum
+    exactly across shards.
+    """
+    from repro.utils import check_positions
+
+    spec = params["shard"]
+    if not isinstance(spec, dict):
+        raise ValueError("'shard' must be an object with 'index' and 'grid'")
+    grid = TileGrid.from_jsonable(spec.get("grid"))
+    index = spec.get("index")
+    if (
+        isinstance(index, bool)
+        or not isinstance(index, int)
+        or not 0 <= index < grid.k
+    ):
+        raise ValueError(f"shard 'index' must be an int in [0, {grid.k})")
+    if params.get("algorithm") is not None:
+        raise ValueError(
+            "shard partials cannot apply an 'algorithm' reduction: registry "
+            "topologies are globally defined, not computable tile-locally"
+        )
+    measure = params.get("measure", "graph")
+    if measure == "sender" or measure not in MEASURES:
+        raise ValueError(
+            "shard partials support measures graph, average and node; "
+            f"got {measure!r}"
+        )
+    method = params.get("method", "auto")
+    if method not in ("auto", "brute", "grid", "batch"):
+        raise ValueError("'method' must be auto, brute, grid or batch")
+    unit = _validate_unit(params)
+    need = required_ghost(unit)
+    if grid.ghost < need:
+        raise ValueError(
+            f"ghost margin {grid.ghost:g} is below the exactness bound "
+            f"{need:g} for unit {unit:g}; owned counts would be truncated"
+        )
+    pos = check_positions(
+        resolve_positions(params, max_nodes=MAX_SHARD_REQUEST_NODES)
+    )
+    owner = grid.tile_of(pos)
+    subset = np.flatnonzero(grid.ghost_mask(pos, index))
+    result = {
+        "n": int(pos.shape[0]),
+        "shard": index,
+        "measure": measure,
+        "ids": [],
+        "counts": [],
+        "n_edges_owned": 0,
+    }
+    if subset.size == 0:
+        return result
+    subtopo = unit_disk_graph(pos[subset], unit=unit)
+    vec = node_interference(subtopo, method=method)
+    local_owned = owner[subset] == index
+    ids = subset[local_owned]
+    counts = vec[local_owned]
+    region = params.get("region")
+    if region is not None:
+        keep = _region_mask(pos[ids], region)
+        ids, counts = ids[keep], counts[keep]
+    edges = subtopo.edges
+    if edges.shape[0]:
+        gmin = np.minimum(subset[edges[:, 0]], subset[edges[:, 1]])
+        result["n_edges_owned"] = int(np.count_nonzero(owner[gmin] == index))
+    result["ids"] = [int(i) for i in ids]
+    result["counts"] = [int(c) for c in counts]
+    return result
 
 
 def handle_build_topology(params: dict) -> dict:
@@ -280,6 +434,14 @@ def _run_interference_batch(params_list: list[dict]) -> list[dict]:
     out: list[dict | None] = [None] * len(params_list)
     prepared = []
     for i, params in enumerate(params_list):
+        if "shard" in params or "region" in params:
+            # cluster-shaped items: a different result shape (partials /
+            # id-filtered vectors), computed whole rather than fused
+            try:
+                out[i] = {"ok": True, "result": handle_interference(params)}
+            except Exception as exc:
+                out[i] = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            continue
         try:
             prepared.append((i, *_prepare_interference(params)))
         except Exception as exc:

@@ -24,6 +24,8 @@ asserts p99 against it.
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import json
 import math
 import random
 import time
@@ -35,6 +37,13 @@ from repro.serve.protocol import ERROR_CODES
 
 #: Registry algorithms cheap enough for per-request construction.
 _LOADGEN_ALGORITHMS = ("emst", "xtc", "nnf")
+
+#: Request kinds whose results are a pure function of their (seeded)
+#: params — the payload digest covers only these, so two runs of the same
+#: stream against different deployments (say, one shard vs. a cluster)
+#: must produce equal digests. ``experiment``/``opt`` replies may carry
+#: timings or budget-dependent fields and are excluded.
+DIGEST_KINDS = ("interference", "build_topology")
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -154,6 +163,11 @@ class LoadGenReport:
     mean_ms: float = math.nan
     max_ms: float = math.nan
     slo_p99_ms: float | None = None
+    #: Order-independent sha256 over the canonical-JSON results of all
+    #: successful :data:`DIGEST_KINDS` requests, keyed by request index.
+    #: Equal streams against equal deployments -> equal digests; ``None``
+    #: when no such request succeeded.
+    payload_digest: str | None = None
 
     @property
     def slo_met(self) -> bool:
@@ -188,6 +202,7 @@ class LoadGenReport:
             },
             "slo_p99_ms": self.slo_p99_ms,
             "slo_met": self.slo_met,
+            "payload_digest": self.payload_digest,
         }
 
     def render(self) -> str:
@@ -225,8 +240,11 @@ async def run_loadgen(
     for kind, _ in requests:
         report.by_kind[kind] = report.by_kind.get(kind, 0) + 1
     latencies: list[float] = []
+    digests: dict[int, str] = {}
 
-    async def issue(client: ServeClient, kind: str, params: dict) -> None:
+    async def issue(
+        client: ServeClient, index: int, kind: str, params: dict
+    ) -> None:
         t0 = time.perf_counter()
         try:
             response = await client.request_raw(
@@ -239,6 +257,15 @@ async def run_loadgen(
         if response.get("ok"):
             report.n_ok += 1
             latencies.append(ms)
+            if kind in DIGEST_KINDS:
+                canonical = json.dumps(
+                    response.get("result"),
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                digests[index] = hashlib.sha256(
+                    canonical.encode("utf-8")
+                ).hexdigest()
             return
         code = (response.get("error") or {}).get("code")
         if code in ERROR_CODES:
@@ -265,18 +292,25 @@ async def run_loadgen(
         report.mean_ms = sum(latencies) / len(latencies)
         report.max_ms = latencies[-1]
     report.slo_p99_ms = config.slo_p99_ms
+    if digests:
+        lines = "\n".join(
+            f"{index}:{digest}" for index, digest in sorted(digests.items())
+        )
+        report.payload_digest = hashlib.sha256(
+            lines.encode("utf-8")
+        ).hexdigest()
     return report
 
 
 async def _closed_loop(config, requests, host, port, issue) -> None:
     n_workers = min(config.concurrency, len(requests))
-    cursor = iter(requests)
+    cursor = iter(enumerate(requests))
 
     async def worker() -> None:
         client = await ServeClient.connect(host, port)
         try:
-            for kind, params in cursor:
-                await issue(client, kind, params)
+            for index, (kind, params) in cursor:
+                await issue(client, index, kind, params)
         finally:
             await client.close()
 
@@ -294,17 +328,21 @@ async def _open_loop(config, requests, host, port, issue) -> None:
     loop = asyncio.get_running_loop()
     started = loop.time()
 
-    async def fire(delay: float, kind: str, params: dict) -> None:
+    async def fire(
+        delay: float, index: int, kind: str, params: dict
+    ) -> None:
         remaining = started + delay - loop.time()
         if remaining > 0:
             await asyncio.sleep(remaining)
-        await issue(client, kind, params)
+        await issue(client, index, kind, params)
 
     try:
         await asyncio.gather(
             *(
-                fire(offset, kind, params)
-                for offset, (kind, params) in zip(offsets, requests)
+                fire(offset, index, kind, params)
+                for offset, (index, (kind, params)) in zip(
+                    offsets, enumerate(requests)
+                )
             )
         )
     finally:

@@ -20,13 +20,23 @@ Request::
 
 Response (success / failure)::
 
-    {"id": 7, "ok": true,  "result": {...}, "ms": 3.2}
+    {"id": 7, "ok": true,  "result": {...}, "ms": 3.2, "v": 1}
     {"id": 7, "ok": false, "error": {"code": "overloaded", "message": "..."},
-     "ms": 0.1}
+     "ms": 0.1, "v": 1}
 
 ``ms`` is the server-side latency from admission to response. Error
 ``code`` is one of the ``ERR_*`` constants below; anything else a client
-sees is a protocol violation.
+sees is a protocol violation. An error object may additionally carry a
+structured ``details`` member (e.g. ``wrong_shard`` reports the owning
+shards and their endpoints so a client can redirect).
+
+Versioning
+----------
+Envelopes may carry ``"v": 1`` (:data:`PROTOCOL_VERSION`). A request
+*without* ``v`` is treated as version 1 — pre-versioning clients keep
+working against any server — but a request carrying an *unknown* version
+is rejected with ``bad_request`` instead of being half-understood.
+Responses always carry ``v``.
 
 This module is shared by server, client and load generator, and has no
 dependencies beyond the stdlib.
@@ -37,7 +47,13 @@ from __future__ import annotations
 import json
 
 #: Upper bound on one framed message (request or response), in bytes.
+#: ``encode_message``/``decode_message`` accept a per-call override so
+#: cluster-internal links (whole-shard interference vectors) can raise it.
 MAX_LINE_BYTES = 1_000_000
+
+#: Envelope version this module speaks. Requests without a ``v`` field
+#: are treated as this version; unknown versions are rejected.
+PROTOCOL_VERSION = 1
 
 #: The request types the server understands. ``ping`` and the
 #: ``stream_*`` kinds are answered inline on the event loop (the stream
@@ -80,14 +96,21 @@ ERR_OVERLOADED = "overloaded"
 ERR_DEADLINE = "deadline_exceeded"
 ERR_INTERNAL = "internal"
 ERR_SHUTTING_DOWN = "shutting_down"
+ERR_WRONG_SHARD = "wrong_shard"
+ERR_SHARD_UNAVAILABLE = "shard_unavailable"
 
-#: Every error code a response may carry.
+#: Every error code a response may carry. ``wrong_shard`` additionally
+#: carries ``details`` naming the owning shards (and, when known, their
+#: endpoints) so clients can redirect; ``shard_unavailable`` means a
+#: cluster front-end could not reach a worker shard.
 ERROR_CODES = (
     ERR_BAD_REQUEST,
     ERR_OVERLOADED,
     ERR_DEADLINE,
     ERR_INTERNAL,
     ERR_SHUTTING_DOWN,
+    ERR_WRONG_SHARD,
+    ERR_SHARD_UNAVAILABLE,
 )
 
 
@@ -95,22 +118,22 @@ class ProtocolError(ValueError):
     """A malformed frame or request envelope."""
 
 
-def encode_message(payload: dict) -> bytes:
-    """Frame one message: compact JSON + newline."""
+def encode_message(payload: dict, *, limit: int = MAX_LINE_BYTES) -> bytes:
+    """Frame one message: compact JSON + newline (``limit`` bytes max)."""
     line = json.dumps(payload, separators=(",", ":"), allow_nan=False)
     data = line.encode("utf-8") + b"\n"
-    if len(data) > MAX_LINE_BYTES:
+    if len(data) > limit:
         raise ProtocolError(
-            f"message of {len(data)} bytes exceeds MAX_LINE_BYTES"
+            f"message of {len(data)} bytes exceeds the {limit}-byte frame limit"
         )
     return data
 
 
-def decode_message(line: bytes | str) -> dict:
+def decode_message(line: bytes | str, *, limit: int = MAX_LINE_BYTES) -> dict:
     """Parse one framed line into a message object."""
     if isinstance(line, bytes):
-        if len(line) > MAX_LINE_BYTES:
-            raise ProtocolError("frame exceeds MAX_LINE_BYTES")
+        if len(line) > limit:
+            raise ProtocolError("frame exceeds the frame-size limit")
         try:
             line = line.decode("utf-8")
         except UnicodeDecodeError as exc:
@@ -132,6 +155,12 @@ def parse_request(message: dict) -> tuple[object, str, dict, float | None]:
     req_id = message.get("id")
     if req_id is not None and not isinstance(req_id, (int, str)):
         raise ProtocolError("request 'id' must be an int or string")
+    version = message.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION or isinstance(version, bool):
+        raise ProtocolError(
+            f"unsupported protocol version {version!r}; "
+            f"this server speaks v{PROTOCOL_VERSION}"
+        )
     kind = message.get("type")
     if kind not in REQUEST_TYPES:
         raise ProtocolError(
@@ -151,15 +180,28 @@ def parse_request(message: dict) -> tuple[object, str, dict, float | None]:
 
 
 def ok_response(req_id, result: dict, *, ms: float) -> dict:
-    return {"id": req_id, "ok": True, "result": result, "ms": round(ms, 3)}
+    return {
+        "id": req_id,
+        "ok": True,
+        "result": result,
+        "ms": round(ms, 3),
+        "v": PROTOCOL_VERSION,
+    }
 
 
-def error_response(req_id, code: str, message: str, *, ms: float = 0.0) -> dict:
+def error_response(
+    req_id, code: str, message: str, *, ms: float = 0.0,
+    details: dict | None = None,
+) -> dict:
     if code not in ERROR_CODES:
         raise ValueError(f"unknown error code {code!r}")
+    error: dict = {"code": code, "message": message}
+    if details is not None:
+        error["details"] = details
     return {
         "id": req_id,
         "ok": False,
-        "error": {"code": code, "message": message},
+        "error": error,
         "ms": round(ms, 3),
+        "v": PROTOCOL_VERSION,
     }

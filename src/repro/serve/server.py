@@ -15,8 +15,10 @@ Request lifecycle
   of letting the queue collapse under a burst). ``ping`` is answered
   inline and never queued.
 - **Micro-batching** — the dispatcher coalesces up to
-  ``batch_max_size`` *compatible* requests (same type + kernel options,
-  see :func:`_lane`) arriving within ``batch_linger_ms`` of the oldest
+  ``batch_max_size`` *compatible* requests (equal
+  :class:`repro.serve.routing.RouteKey`, produced by the server's
+  :class:`~repro.serve.routing.Router`) arriving within
+  ``batch_linger_ms`` of the oldest
   queued request into one executor dispatch, amortizing process-pool
   round-trip cost over many small requests. Non-batchable types dispatch
   individually. Items in a batch fail independently.
@@ -45,7 +47,6 @@ enabled or not — from :meth:`InterferenceServer.stats`.
 from __future__ import annotations
 
 import asyncio
-import itertools
 from collections import deque
 from concurrent.futures import (
     BrokenExecutor,
@@ -57,14 +58,15 @@ from repro import obs
 from repro.runner.pool import terminate_pool
 from repro.serve.config import ServeConfig
 from repro.serve.handlers import run_batch
+from repro.serve.routing import LaneRouter, Router
 from repro.serve.stream import StreamService
 from repro.serve.protocol import (
-    BATCHABLE_TYPES,
     ERR_BAD_REQUEST,
     ERR_DEADLINE,
     ERR_INTERNAL,
     ERR_OVERLOADED,
     ERR_SHUTTING_DOWN,
+    ERR_WRONG_SHARD,
     ProtocolError,
     decode_message,
     encode_message,
@@ -81,14 +83,6 @@ _OPT_MIN_BUDGET_S = 0.005
 #: Error-name prefixes from the worker that map to ``bad_request`` (caller
 #: error) rather than ``internal`` (server fault).
 _CALLER_ERRORS = ("ValueError", "KeyError", "TypeError")
-
-
-def _lane(kind: str, params: dict, counter) -> object:
-    """Batching-compatibility key: requests in the same lane may share a
-    dispatch. Non-batchable kinds get a unique lane (never coalesced)."""
-    if kind in BATCHABLE_TYPES:
-        return (kind, params.get("measure", "graph"), params.get("method", "auto"))
-    return next(counter)
 
 
 class _Pending:
@@ -122,8 +116,15 @@ class InterferenceServer:
         await server.stop()         # graceful drain
     """
 
-    def __init__(self, config: ServeConfig | None = None):
+    def __init__(
+        self, config: ServeConfig | None = None, *,
+        router: Router | None = None,
+    ):
         self.config = config or ServeConfig()
+        #: The dispatch router (``RouteKey`` producer). Defaults to the
+        #: single-shard :class:`LaneRouter`; a cluster front-end injects
+        #: its shard-aware router instead.
+        self.router: Router = router if router is not None else LaneRouter()
         self._server: asyncio.base_events.Server | None = None
         self._executor = None
         self._queue: deque[_Pending] = deque()
@@ -133,8 +134,10 @@ class InterferenceServer:
         self._sem = asyncio.Semaphore(self.config.inflight_limit)
         self._draining = False
         self._connections: set[asyncio.StreamWriter] = set()
-        self._lane_counter = itertools.count()
         self._stream = StreamService(self.config, self._write)
+        #: Cluster identity (``{"index": i, "endpoints": [[h, p], ...]}``)
+        #: set by a shard front-end; ``None`` for standalone servers.
+        self.shard_info: dict | None = None
         self._stats = {
             "pool_respawns": 0,
             "accepted": 0,
@@ -144,6 +147,7 @@ class InterferenceServer:
             "internal_errors": 0,
             "rejected_overloaded": 0,
             "rejected_shutting_down": 0,
+            "rejected_wrong_shard": 0,
             "deadline_exceeded": 0,
             "batches": 0,
             "batched_requests": 0,
@@ -268,7 +272,9 @@ class InterferenceServer:
                 admitted_at = loop.time()
                 req_id = None
                 try:
-                    message = decode_message(line)
+                    message = decode_message(
+                        line, limit=self.config.max_line_bytes
+                    )
                     req_id = message.get("id")
                     if not isinstance(req_id, (int, str)):
                         req_id = None
@@ -297,7 +303,9 @@ class InterferenceServer:
                     )
                     await self._write(writer, wlock, response)
                     continue
-                rejection = self._admission_error(req_id)
+                rejection = self._shard_rejection(req_id, kind, params)
+                if rejection is None:
+                    rejection = self._admission_error(req_id)
                 if rejection is not None:
                     await self._write(writer, wlock, rejection)
                     continue
@@ -326,6 +334,41 @@ class InterferenceServer:
             except Exception:
                 pass
 
+    def set_shard_info(self, info: dict | None) -> None:
+        """Adopt a cluster identity: requests whose ``shard`` spec names a
+        different index are refused with ``wrong_shard`` (plus the owner's
+        endpoint when known) instead of computing the wrong partial."""
+        if info is not None and not isinstance(info.get("index"), int):
+            raise ValueError("shard info must carry an int 'index'")
+        self.shard_info = info
+
+    def _shard_rejection(self, req_id, kind: str, params: dict) -> dict | None:
+        info = self.shard_info
+        if info is None or kind != "interference":
+            return None
+        spec = params.get("shard")
+        if not isinstance(spec, dict):
+            return None
+        want = spec.get("index")
+        if (
+            isinstance(want, bool)
+            or not isinstance(want, int)
+            or want == info["index"]
+        ):
+            return None  # malformed indices get the handler's bad_request
+        self._stats["rejected_wrong_shard"] += 1
+        obs.count("serve.rejected.wrong_shard")
+        endpoints = info.get("endpoints") or []
+        details: dict = {"shards": [want]}
+        if 0 <= want < len(endpoints):
+            details["endpoints"] = [list(endpoints[want])]
+        return error_response(
+            req_id, ERR_WRONG_SHARD,
+            f"shard {want} requested; this worker serves shard "
+            f"{info['index']}",
+            details=details,
+        )
+
     def _admission_error(self, req_id) -> dict | None:
         if self._draining:
             self._stats["rejected_shutting_down"] += 1
@@ -352,7 +395,7 @@ class InterferenceServer:
         )
         pending = _Pending(
             req_id, kind, params,
-            _lane(kind, params, self._lane_counter),
+            self.router.route(kind, params),
             admitted_at, deadline_at,
         )
         self._queue.append(pending)
@@ -370,7 +413,9 @@ class InterferenceServer:
     async def _write(self, writer, wlock, response: dict) -> None:
         try:
             async with wlock:
-                writer.write(encode_message(response))
+                writer.write(
+                    encode_message(response, limit=self.config.max_line_bytes)
+                )
                 # drain() per response would cost a scheduling round trip
                 # each; the transport buffers writes, so only apply
                 # backpressure once the buffer actually backs up.
@@ -487,7 +532,7 @@ class InterferenceServer:
         if head is None:
             return []
         batch = [head]
-        if cfg.batch_max_size > 1 and head.kind in BATCHABLE_TYPES:
+        if cfg.batch_max_size > 1 and head.lane.batchable:
             loop = asyncio.get_running_loop()
             target = head.enqueued_at + cfg.batch_linger_ms / 1e3
             while len(batch) < cfg.batch_max_size:

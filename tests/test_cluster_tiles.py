@@ -1,0 +1,164 @@
+"""Tile-grid unit tests: total partition, ghosts, region routing, wire form."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import TileGrid, factor_tiles, required_ghost
+from repro.interference.receiver import ATOL, RTOL
+
+
+class TestFactorTiles:
+    @pytest.mark.parametrize(
+        "k,expected",
+        [(1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (6, (3, 2)), (8, (4, 2)),
+         (9, (3, 3)), (12, (4, 3)), (7, (7, 1))],
+    )
+    def test_near_square(self, k, expected):
+        assert factor_tiles(k) == expected
+        nx, ny = factor_tiles(k)
+        assert nx * ny == k and nx >= ny
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factor_tiles(0)
+
+
+class TestRequiredGhost:
+    def test_default_tolerances(self):
+        unit = 1.5
+        assert required_ghost(unit) == unit * (1.0 + RTOL) + ATOL + unit
+
+    def test_explicit_tolerances(self):
+        assert required_ghost(1.0, rtol=0.0, atol=0.25) == 2.25
+
+
+class TestOwnershipPartition:
+    def test_every_point_has_exactly_one_owner(self):
+        grid = TileGrid.uniform((0.0, 0.0, 10.0, 10.0), 6, ghost=1.0)
+        rng = np.random.default_rng(0)
+        # include points far outside the nominal bounds
+        pos = rng.uniform(-20.0, 30.0, size=(500, 2))
+        owner = grid.tile_of(pos)
+        assert owner.min() >= 0 and owner.max() < grid.k
+        # ownership must agree with tile_bounds membership
+        for tile in range(grid.k):
+            x0, y0, x1, y1 = grid.tile_bounds(tile)
+            inside = (
+                (pos[:, 0] >= x0) & (pos[:, 0] < x1)
+                & (pos[:, 1] >= y0) & (pos[:, 1] < y1)
+            )
+            assert np.array_equal(inside, owner == tile)
+
+    def test_boundary_points_are_half_open(self):
+        grid = TileGrid.uniform((0.0, 0.0, 4.0, 4.0), 4, ghost=0.5)
+        # x=2 is the interior cut: belongs to the right tile
+        assert grid.tile_of(np.array([[2.0, 0.5]]))[0] == 1
+        assert grid.tile_of(np.array([[1.999999, 0.5]]))[0] == 0
+        # y=2 cut: belongs to the upper row
+        assert grid.tile_of(np.array([[0.5, 2.0]]))[0] == 2
+
+    def test_row_major_keying_matches_grid_index_convention(self):
+        grid = TileGrid.uniform((0.0, 0.0, 3.0, 2.0), 6, ghost=0.1)
+        assert (grid.nx, grid.ny) == (3, 2)
+        # tile = ty * nx + tx
+        assert grid.tile_of(np.array([[0.5, 0.5]]))[0] == 0
+        assert grid.tile_of(np.array([[2.5, 0.5]]))[0] == 2
+        assert grid.tile_of(np.array([[0.5, 1.5]]))[0] == 3
+        assert grid.tile_of(np.array([[2.5, 1.5]]))[0] == 5
+
+
+class TestGhosts:
+    def test_ghost_mask_covers_owned_plus_margin(self):
+        grid = TileGrid.uniform((0.0, 0.0, 8.0, 8.0), 4, ghost=1.5)
+        pos = np.array([
+            [1.0, 1.0],   # owned by tile 0
+            [4.5, 1.0],   # owned by tile 1, within 1.5 of tile 0
+            [6.0, 1.0],   # owned by tile 1, 2.0 from tile 0
+            [4.9, 4.9],   # tile 3, corner distance to tile 0 ~ 1.27
+            [5.2, 5.2],   # tile 3, corner distance to tile 0 ~ 1.70
+        ])
+        mask = grid.ghost_mask(pos, 0)
+        assert mask.tolist() == [True, True, False, True, False]
+
+    def test_tile_distance_zero_inside(self):
+        grid = TileGrid.uniform((0.0, 0.0, 8.0, 8.0), 4, ghost=1.0)
+        pos = np.array([[0.5, 0.5], [3.999, 3.999]])
+        assert np.all(grid.tile_distance(pos, 0) == 0.0)
+
+    def test_edge_tiles_extend_to_infinity(self):
+        grid = TileGrid.uniform((0.0, 0.0, 8.0, 8.0), 4, ghost=1.0)
+        far = np.array([[-100.0, -100.0]])
+        assert grid.tile_of(far)[0] == 0
+        assert grid.tile_distance(far, 0)[0] == 0.0
+
+
+class TestRegionRouting:
+    def test_region_inside_one_tile(self):
+        grid = TileGrid.uniform((0.0, 0.0, 8.0, 8.0), 4, ghost=1.0)
+        assert grid.tiles_overlapping((0.5, 0.5, 1.5, 1.5)) == (0,)
+
+    def test_region_straddling_a_cut(self):
+        grid = TileGrid.uniform((0.0, 0.0, 8.0, 8.0), 4, ghost=1.0)
+        assert grid.tiles_overlapping((3.5, 0.5, 4.5, 1.5)) == (0, 1)
+
+    def test_region_covering_everything(self):
+        grid = TileGrid.uniform((0.0, 0.0, 8.0, 8.0), 4, ghost=1.0)
+        assert grid.tiles_overlapping((-50.0, -50.0, 50.0, 50.0)) == (0, 1, 2, 3)
+
+    def test_degenerate_region_is_a_point(self):
+        grid = TileGrid.uniform((0.0, 0.0, 8.0, 8.0), 4, ghost=1.0)
+        assert grid.tiles_overlapping((6.0, 6.0, 6.0, 6.0)) == (3,)
+
+    def test_inverted_region_rejected(self):
+        grid = TileGrid.uniform((0.0, 0.0, 8.0, 8.0), 4, ghost=1.0)
+        with pytest.raises(ValueError):
+            grid.tiles_overlapping((5.0, 0.0, 1.0, 8.0))
+
+
+class TestBalancedCuts:
+    def test_quantile_cuts_balance_a_skewed_axis(self):
+        rng = np.random.default_rng(3)
+        # 90% of the mass in the left tenth of the x range
+        pos = np.concatenate([
+            np.column_stack([
+                rng.uniform(0.0, 1.0, 900), rng.uniform(0.0, 10.0, 900)
+            ]),
+            np.column_stack([
+                rng.uniform(1.0, 10.0, 100), rng.uniform(0.0, 10.0, 100)
+            ]),
+        ])
+        balanced = TileGrid.balanced(pos, 2, ghost=1.0)
+        counts = np.bincount(balanced.tile_of(pos), minlength=2)
+        # the median cut splits the skewed axis nearly in half...
+        assert counts.min() >= 450
+        # ...where uniform cuts would starve the right shard
+        uniform = TileGrid.uniform((0.0, 0.0, 10.0, 10.0), 2, ghost=1.0)
+        ucounts = np.bincount(uniform.tile_of(pos), minlength=2)
+        assert ucounts.min() <= 100
+
+
+class TestWireForm:
+    def test_jsonable_round_trip(self):
+        grid = TileGrid.balanced(
+            np.random.default_rng(1).uniform(0, 5, size=(64, 2)),
+            6, ghost=2.5,
+        )
+        clone = TileGrid.from_jsonable(grid.to_jsonable())
+        assert clone == grid
+        assert clone.tile_bounds(3) == grid.tile_bounds(3)
+
+    def test_from_jsonable_validates(self):
+        with pytest.raises(ValueError):
+            TileGrid.from_jsonable({"xs": [0, 1]})
+        with pytest.raises(ValueError):
+            TileGrid.from_jsonable("nope")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TileGrid([0.0], [0.0, 1.0], ghost=1.0)
+        with pytest.raises(ValueError):
+            TileGrid([1.0, 0.0], [0.0, 1.0], ghost=1.0)
+        with pytest.raises(ValueError):
+            TileGrid([0.0, np.inf], [0.0, 1.0], ghost=1.0)
+        with pytest.raises(ValueError):
+            TileGrid([0.0, 1.0], [0.0, 1.0], ghost=-1.0)

@@ -11,6 +11,7 @@ from repro.geometry.generators import (
     fragmented_exponential_chain,
     grid_points,
     perturb,
+    random_blobs,
     random_cluster,
     random_highway,
     random_udg_connected,
@@ -204,3 +205,26 @@ class TestRandom2D:
     def test_random_udg_connected_impossible_density(self):
         with pytest.raises(RuntimeError, match="increase density"):
             random_udg_connected(5, side=1000.0, seed=1, max_tries=3)
+
+    def test_random_blobs_bounds_and_determinism(self):
+        pos = random_blobs(500, side=10.0, blobs=5, spread=0.5, seed=4)
+        assert pos.shape == (500, 2)
+        assert pos.min() >= 0.0 and pos.max() <= 10.0
+        np.testing.assert_array_equal(
+            pos, random_blobs(500, side=10.0, blobs=5, spread=0.5, seed=4)
+        )
+
+    def test_random_blobs_is_clustered(self):
+        # with tight blobs, pair distances concentrate far below uniform
+        pos = random_blobs(300, side=100.0, blobs=4, spread=0.5, seed=7)
+        d = distance_matrix(pos)
+        near = (d[np.triu_indices(300, k=1)] < 5.0).mean()
+        assert near > 0.2
+
+    def test_random_blobs_invalid(self):
+        with pytest.raises(ValueError):
+            random_blobs(-1)
+        with pytest.raises(ValueError):
+            random_blobs(10, blobs=0)
+        with pytest.raises(ValueError):
+            random_blobs(10, spread=-0.1)

@@ -205,3 +205,63 @@ class TestObsAttribution:
         np.testing.assert_array_equal(
             vec, node_interference(topo, method="brute")
         )
+
+
+class TestBatchQueryProtocol:
+    """batch_covered_counts over the BatchQuery seam (satellite of the
+    routing redesign): any conforming index must produce bit-identical
+    counts to the GridIndex fast path."""
+
+    class BruteIndex:
+        """Minimal conforming BatchQuery: O(n*m) dense predicate."""
+
+        def __init__(self, positions):
+            self.positions = np.asarray(positions, dtype=np.float64)
+
+        def __len__(self):
+            return self.positions.shape[0]
+
+        def _hits(self, centers, radii):
+            centers = np.asarray(centers, dtype=np.float64)
+            radii = np.broadcast_to(
+                np.asarray(radii, dtype=np.float64), (centers.shape[0],)
+            )
+            d = np.hypot(
+                centers[:, None, 0] - self.positions[None, :, 0],
+                centers[:, None, 1] - self.positions[None, :, 1],
+            )
+            return d <= radii[:, None]
+
+        def query_pairs(self, centers, radii):
+            qq, hits = np.nonzero(self._hits(centers, radii))
+            return qq.astype(np.int64), hits.astype(np.int64)
+
+        def count_within(self, centers, radii):
+            return self._hits(centers, radii).sum(axis=1).astype(np.int64)
+
+    def test_runtime_checkable(self):
+        from repro.geometry import BatchQuery, GridIndex
+
+        pos = np.random.default_rng(0).uniform(0.0, 4.0, size=(16, 2))
+        assert isinstance(GridIndex(pos, 1.0), BatchQuery)
+        assert isinstance(self.BruteIndex(pos), BatchQuery)
+        assert not isinstance(object(), BatchQuery)
+
+    def test_generic_index_matches_grid_index(self):
+        from repro.geometry import GridIndex
+        from repro.interference.batch import batch_covered_counts
+
+        rng = np.random.default_rng(5)
+        pos = rng.uniform(0.0, 6.0, size=(120, 2))
+        r_eff = rng.uniform(0.3, 1.2, size=120)
+        fast = batch_covered_counts(GridIndex(pos, 1.0), r_eff)
+        slow = batch_covered_counts(self.BruteIndex(pos), r_eff)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_empty_index(self):
+        from repro.interference.batch import batch_covered_counts
+
+        counts = batch_covered_counts(
+            self.BruteIndex(np.empty((0, 2))), np.empty(0)
+        )
+        assert counts.size == 0

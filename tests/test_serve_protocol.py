@@ -5,6 +5,7 @@ import pytest
 from repro.serve.protocol import (
     ERROR_CODES,
     MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
     REQUEST_TYPES,
     ProtocolError,
     decode_message,
@@ -27,12 +28,18 @@ class TestFraming:
         assert b" " not in data  # compact separators
 
     def test_oversized_message_rejected_on_encode(self):
-        with pytest.raises(ProtocolError, match="MAX_LINE_BYTES"):
+        with pytest.raises(ProtocolError, match="frame limit"):
             encode_message({"blob": "x" * MAX_LINE_BYTES})
 
     def test_oversized_frame_rejected_on_decode(self):
-        with pytest.raises(ProtocolError, match="MAX_LINE_BYTES"):
+        with pytest.raises(ProtocolError, match="frame-size limit"):
             decode_message(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_limit_override_raises_the_ceiling(self):
+        blob = {"blob": "x" * MAX_LINE_BYTES}
+        wide = 4 * MAX_LINE_BYTES
+        data = encode_message(blob, limit=wide)
+        assert decode_message(data, limit=wide) == blob
 
     @pytest.mark.parametrize(
         "line", [b"not json\n", b"[1,2]\n", b'"scalar"\n', b"\xff\xfe\n"]
@@ -81,14 +88,42 @@ class TestEnvelopes:
     def test_ok_response_shape(self):
         resp = ok_response(9, {"value": 4}, ms=1.23456)
         assert resp == {"id": 9, "ok": True, "result": {"value": 4},
-                        "ms": 1.235}
+                        "ms": 1.235, "v": 1}
 
     def test_error_response_shape(self):
         resp = error_response(9, "overloaded", "queue full", ms=0.5)
         assert resp["ok"] is False
         assert resp["error"] == {"code": "overloaded", "message": "queue full"}
 
+    def test_error_response_details(self):
+        resp = error_response(
+            9, "wrong_shard", "not mine", details={"shards": [2]}
+        )
+        assert resp["error"]["details"] == {"shards": [2]}
+
     def test_error_codes_are_closed_set(self):
         with pytest.raises(ValueError, match="unknown error code"):
             error_response(1, "whoops", "nope")
-        assert len(ERROR_CODES) == len(set(ERROR_CODES)) == 5
+        assert len(ERROR_CODES) == len(set(ERROR_CODES)) == 7
+        assert "wrong_shard" in ERROR_CODES
+        assert "shard_unavailable" in ERROR_CODES
+
+
+class TestVersioning:
+    def test_unversioned_request_accepted_as_v1(self):
+        req_id, kind, params, deadline = parse_request(
+            {"id": 1, "type": "ping"}
+        )
+        assert (req_id, kind) == (1, "ping")
+
+    def test_current_version_accepted(self):
+        parse_request({"id": 1, "type": "ping", "v": PROTOCOL_VERSION})
+
+    @pytest.mark.parametrize("v", [0, 2, "1", True, None, [1]])
+    def test_other_versions_rejected(self, v):
+        with pytest.raises(ProtocolError, match="version"):
+            parse_request({"id": 1, "type": "ping", "v": v})
+
+    def test_responses_carry_version(self):
+        assert ok_response(1, {}, ms=0.1)["v"] == PROTOCOL_VERSION
+        assert error_response(1, "internal", "x")["v"] == PROTOCOL_VERSION
