@@ -132,6 +132,9 @@ from repro.serve import (
 )
 from repro.stream import (
     DurableStreamEngine,
+    LogStore,
+    RecoveryInfo,
+    SegmentedWal,
     StreamConfig,
     StreamEngine,
     StreamEvent,
@@ -254,8 +257,11 @@ __all__ = [
     "TileGrid",
     "factor_tiles",
     "required_ghost",
-    # streaming engine (durable event sourcing)
+    # streaming engine (durable event sourcing) + storage seam
     "DurableStreamEngine",
+    "LogStore",
+    "RecoveryInfo",
+    "SegmentedWal",
     "StreamConfig",
     "StreamEngine",
     "StreamEvent",

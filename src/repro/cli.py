@@ -326,6 +326,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="recover an existing directory and continue the same seeded "
         "workload from the surviving seqno",
     )
+    ingest.add_argument(
+        "--segment-bytes", type=int, default=None,
+        help="log segment rotation threshold in bytes "
+        "(default: StreamConfig's 8 MiB)",
+    )
+    ingest.add_argument(
+        "--compact", choices=("auto", "manual"), default=None,
+        help="compaction policy: auto deletes snapshot-covered segments "
+        "after every snapshot (default), manual only via 'stream compact'",
+    )
     replay = ssub.add_parser(
         "replay",
         help="recover a stream directory (snapshot + tail replay) and "
@@ -339,6 +349,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "detected WAL corruption)",
     )
     verify.add_argument("--dir", type=Path, required=True)
+    verify.add_argument(
+        "--deep", action="store_true",
+        help="also integrity-scan every surviving segment, including "
+        "snapshot-covered ones (O(total log) instead of O(tail))",
+    )
+    compact = ssub.add_parser(
+        "compact",
+        help="delete sealed log segments wholly covered by the newest "
+        "valid snapshot (idempotent; prints what was removed)",
+    )
+    compact.add_argument("--dir", type=Path, required=True)
     chaos = ssub.add_parser(
         "chaos",
         help="seeded kill/recover/resume suite; exit 1 unless every run "
@@ -359,6 +380,12 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--rate", type=float, default=None,
         help="child ingest throttle (subprocess mode)",
+    )
+    chaos.add_argument(
+        "--target", choices=("uniform", "rotation", "compaction"),
+        default="uniform",
+        help="kill-point family: uniform in log bytes, aimed at segment "
+        "seal boundaries, or interrupting mid-compaction (inprocess only)",
     )
     loadgen = sub.add_parser(
         "loadgen",
@@ -754,6 +781,8 @@ def _stream(args) -> int:
         return _stream_replay(args)
     if args.stream_command == "verify":
         return _stream_verify(args)
+    if args.stream_command == "compact":
+        return _stream_compact(args)
     return _stream_chaos(args)
 
 
@@ -766,12 +795,18 @@ def _stream_ingest(args) -> int:
         random_stream_events,
     )
 
+    extra = {}
+    if args.segment_bytes is not None:
+        extra["segment_bytes"] = args.segment_bytes
+    if args.compact is not None:
+        extra["compact"] = args.compact
     config = StreamConfig(
         capacity=args.capacity,
         r_max=args.r_max,
         snapshot_every=args.snapshot_every,
         fsync_every=args.fsync_every,
         fsync=not args.no_fsync,
+        **extra,
     )
     if (args.dir / "meta.json").exists():
         if not args.resume:
@@ -832,7 +867,11 @@ def _stream_replay(args) -> int:
     )
     print(f"stream replay: {args.dir}")
     print(f"  snapshot seq : {ri.snapshot_seq}")
-    print(f"  replayed seqs: {replay_range}  ({ri.wal_records} records in log)")
+    print(f"  replayed seqs: {replay_range}  ({ri.wal_records} records scanned)")
+    print(
+        f"  segments     : {ri.segments_scanned}/{ri.segments} scanned"
+        f"  ({ri.bytes_scanned} bytes)"
+    )
     print(
         f"  torn tail    : {ri.torn_bytes} bytes dropped"
         if ri.torn_tail
@@ -854,12 +893,31 @@ def _stream_verify(args) -> int:
     from repro.stream import WalCorruption, render_verify_report, verify_stream_dir
 
     try:
-        report = verify_stream_dir(args.dir)
+        report = verify_stream_dir(args.dir, deep=args.deep)
     except WalCorruption as exc:
         print(f"stream verify: DETECTED CORRUPTION — {exc}", file=sys.stderr)
         return 2
     print(render_verify_report(report))
     return 0 if report.ok else 1
+
+
+def _stream_compact(args) -> int:
+    from repro.stream import DurableStreamEngine
+    from repro.stream.snapshot import newest_snapshot_seq
+
+    engine = DurableStreamEngine.open(args.dir)
+    try:
+        cover = newest_snapshot_seq(args.dir)
+        removed = engine.compact()
+    finally:
+        engine.close()
+    print(
+        f"stream compact: {args.dir} — {len(removed)} segment(s) deleted "
+        f"(cover seq {cover})"
+    )
+    for path in removed:
+        print(f"  removed {path.name}")
+    return 0
 
 
 def _stream_chaos(args) -> int:
@@ -878,8 +936,9 @@ def _stream_chaos(args) -> int:
         r_max=args.r_max,
         mode=args.mode,
         rate=args.rate,
+        target=args.target,
     )
-    print(f"stream chaos: {args.mode} suite under {base}")
+    print(f"stream chaos: {args.mode}/{args.target} suite under {base}")
     print(render_chaos_results(results))
     bad = [r for r in results if not r.ok]
     if bad:

@@ -11,8 +11,10 @@ runs *inline on the event loop*, never on the worker pool. Request kinds:
   synchronously (ordering fixed) and *applied* asynchronously by the
   ingest task; ``ack`` selects what the response waits for:
   ``"accepted"`` (default, fire-and-forget ordering guarantee),
-  ``"applied"`` (events are live for reads), or ``"durable"`` (WAL
-  flushed — durable engines only).
+  ``"applied"`` (events are live for reads), or ``"durable"`` (the
+  segmented log flushed — durable engines only; ``stream_init`` accepts
+  ``segment_bytes`` / ``compact`` passthrough to
+  :class:`~repro.stream.config.StreamConfig`).
 - ``stream_read``   — bounded-staleness read. ``max_lag`` is the maximum
   number of accepted-but-unapplied events the caller tolerates; the read
   waits (up to ``ServeConfig.stream_read_wait_s``) until the lag is at
@@ -170,12 +172,18 @@ class StreamService:
                 f"capacity {capacity} exceeds server cap "
                 f"{self.config.stream_max_capacity}"
             )
+        extra = {}
+        if "segment_bytes" in params:
+            extra["segment_bytes"] = int(params["segment_bytes"])
+        if "compact" in params:
+            extra["compact"] = str(params["compact"])
         stream_config = StreamConfig(
             capacity=capacity,
             r_max=float(params["r_max"]),
             snapshot_every=int(params.get("snapshot_every", 10_000)),
             fsync_every=int(params.get("fsync_every", 256)),
             fsync=bool(params.get("fsync", True)),
+            **extra,
         )
         await self.close()  # tear down any previous engine + task
         recovery = None

@@ -10,11 +10,14 @@ that into a crash-safe streaming subsystem:
 - :mod:`repro.stream.engine`   — :class:`StreamEngine`, the in-memory
   incremental engine (spatial hash, O(neighbourhood) per event, exact
   arithmetic);
-- :mod:`repro.stream.wal`      — the append-only length+SHA-256 framed
-  write-ahead log, with explicit torn-tail vs corruption semantics;
+- :mod:`repro.stream.wal`      — the segmented length+SHA-256 framed
+  write-ahead log (:class:`SegmentedWal`, rotated ``wal-<seq>.jsonl``
+  segments, the :class:`LogStore` storage protocol), with explicit
+  torn-tail vs corruption semantics;
 - :mod:`repro.stream.snapshot` — atomic checksummed full-state snapshots;
-- :mod:`repro.stream.durable`  — :class:`DurableStreamEngine`: WAL-backed
-  engine with snapshot + tail-replay recovery;
+- :mod:`repro.stream.durable`  — :class:`DurableStreamEngine`: log-backed
+  engine with snapshot + bounded tail-replay recovery and a compactor
+  that deletes snapshot-covered segments;
 - :mod:`repro.stream.verify`   — recovered-state == recomputed-state
   verification (``repro stream verify``);
 - :mod:`repro.stream.chaos`    — the seeded kill/recover/resume harness.
@@ -41,7 +44,19 @@ from repro.stream.verify import (
     render_verify_report,
     verify_stream_dir,
 )
-from repro.stream.wal import WalCorruption, WalScan, WriteAheadLog, scan_wal
+from repro.stream.wal import (
+    LogStore,
+    SegmentInfo,
+    SegmentedWal,
+    StoreScan,
+    WalCorruption,
+    WalScan,
+    WriteAheadLog,
+    list_segments,
+    scan_store,
+    scan_wal,
+    store_bytes,
+)
 
 __all__ = [
     "AppliedEvent",
@@ -49,7 +64,11 @@ __all__ = [
     "DurableStreamEngine",
     "EVENT_FAMILIES",
     "EVENT_KINDS",
+    "LogStore",
     "RecoveryInfo",
+    "SegmentInfo",
+    "SegmentedWal",
+    "StoreScan",
     "StreamConfig",
     "StreamEngine",
     "StreamEvent",
@@ -61,11 +80,14 @@ __all__ = [
     "chaos_run",
     "chaos_suite",
     "latest_snapshot",
+    "list_segments",
     "list_snapshots",
     "random_stream_events",
     "render_chaos_results",
     "render_verify_report",
+    "scan_store",
     "scan_wal",
+    "store_bytes",
     "verify_stream_dir",
     "write_snapshot",
 ]

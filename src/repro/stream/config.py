@@ -9,7 +9,11 @@ directory's meta file, and be asserted on in tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, fields
+
+#: allowed values for :attr:`StreamConfig.compact`
+COMPACT_POLICIES = ("auto", "manual")
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -47,6 +51,18 @@ class StreamConfig:
         Retain this many most-recent snapshot files; older ones are
         deleted after each successful snapshot. At least 2, so a crash
         mid-snapshot always leaves a valid predecessor.
+    segment_bytes:
+        Log segment rotation threshold: the active ``wal-<seq>.jsonl``
+        segment is sealed (and a fresh one opened) rather than grow past
+        this many bytes. Frames never split across segments, so a frame
+        larger than ``segment_bytes`` occupies a segment of its own.
+        Together with ``snapshot_every`` this bounds recovery: only
+        segments at or after the snapshot's seqno are read at all.
+    compact:
+        Compaction policy. ``"auto"`` deletes snapshot-covered sealed
+        segments after every successful ``snapshot_now``; ``"manual"``
+        only compacts when ``DurableStreamEngine.compact()`` (or
+        ``repro stream compact``) is called explicitly.
     """
 
     capacity: int
@@ -55,6 +71,8 @@ class StreamConfig:
     fsync_every: int = 256
     fsync: bool = True
     keep_snapshots: int = 2
+    segment_bytes: int = 8 * 1024 * 1024
+    compact: str = "auto"
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -67,6 +85,12 @@ class StreamConfig:
             raise ValueError("fsync_every must be >= 1")
         if self.keep_snapshots < 2:
             raise ValueError("keep_snapshots must be >= 2")
+        if self.segment_bytes < 1:
+            raise ValueError("segment_bytes must be >= 1")
+        if self.compact not in COMPACT_POLICIES:
+            raise ValueError(
+                f"compact must be one of {COMPACT_POLICIES}, got {self.compact!r}"
+            )
 
     def to_jsonable(self) -> dict:
         return {
@@ -76,8 +100,24 @@ class StreamConfig:
             "fsync_every": self.fsync_every,
             "fsync": self.fsync,
             "keep_snapshots": self.keep_snapshots,
+            "segment_bytes": self.segment_bytes,
+            "compact": self.compact,
         }
 
     @classmethod
     def from_jsonable(cls, payload: dict) -> "StreamConfig":
-        return cls(**payload)
+        # tolerate meta files written before a field existed (they take
+        # the default) and, symmetrically, fields this build doesn't know
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def to_json(self) -> str:
+        """Compact JSON string; inverse of :meth:`from_json`."""
+        return json.dumps(self.to_jsonable(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "StreamConfig":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("StreamConfig JSON must be an object")
+        return cls.from_jsonable(payload)

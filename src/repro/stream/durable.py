@@ -1,27 +1,40 @@
-"""Durable wrapper: WAL + periodic snapshots + snapshot/tail-replay recovery.
+"""Durable wrapper: segmented WAL + snapshots + bounded tail-replay recovery.
 
 A *stream directory* is the unit of durability::
 
-    <dir>/meta.json            engine StreamConfig (written once at create)
-    <dir>/wal.jsonl            append-only event log (repro.stream.wal framing)
-    <dir>/snapshot-<seq>.json  periodic full-state snapshots (newest wins)
+    <dir>/meta.json                    engine StreamConfig (written at create)
+    <dir>/wal-<first_seq>.jsonl        log segments (repro.stream.wal framing)
+    <dir>/snapshot-<seq>.json          periodic full-state snapshots
+    <dir>/wal.jsonl                    legacy pre-segmentation log (read-only)
 
 Write path: each event is applied to the in-memory engine (which rejects
-invalid events before anything is persisted), then appended to the WAL as
+invalid events before anything is persisted), then appended to the log as
 a compact JSON row ``[seq, kind, node, x, y, r]`` (absent fields dropped
 from the tail; see :meth:`StreamEvent.wal_payload`). Sequence numbers are
-assigned by the engine
-and are contiguous from 1, so the WAL *is* the state: replaying it from
-scratch reproduces the engine bit-identically (the property
-:mod:`repro.stream.verify` asserts).
+assigned by the engine and are contiguous from 1, so the log *is* the
+state: replaying it reproduces the engine bit-identically (the property
+:mod:`repro.stream.verify` asserts). The :class:`SegmentedWal` store
+rotates to a fresh ``wal-<first_seq>.jsonl`` whenever the active segment
+would grow past ``StreamConfig.segment_bytes``.
 
-Recovery: scan the WAL's verified prefix (raising
-:class:`~repro.stream.wal.WalCorruption` on a corrupt interior record),
-truncate a torn tail, load the newest snapshot that verifies, and replay
-only the records past its seqno. A snapshot newer than the log can only
-arise from external interference (the WAL is fsynced before every
-snapshot) — it is tolerated, with the snapshot taken as authoritative and
-the condition flagged in :class:`RecoveryInfo`.
+Recovery is O(data since the last snapshot), not O(stream lifetime): load
+the newest snapshot that verifies, scan only the segments holding records
+past its seqno (:func:`~repro.stream.wal.scan_store` seeks by filename —
+no manifest), truncate a torn tail on the newest segment, and replay the
+tail. A snapshot newer than the log can only arise from external
+interference (the log is fsynced before every snapshot) — it is
+tolerated, with the snapshot taken as authoritative and the condition
+flagged in :class:`RecoveryInfo`. A log whose oldest surviving segment
+starts *past* ``snapshot.seq + 1`` is a hole no crash can explain
+(compaction never deletes the segment containing the next seqno to
+replay) and raises :class:`~repro.stream.wal.WalCorruption`.
+
+Compaction (:meth:`DurableStreamEngine.compact`) deletes sealed segments
+wholly covered by the newest valid snapshot — automatically after every
+:meth:`snapshot_now` under the default ``compact="auto"`` policy, or on
+demand (``repro stream compact``) under ``"manual"``. Deletion runs
+oldest-first, so a crash mid-compaction leaves a contiguous suffix and a
+restarted compaction resumes idempotently.
 """
 
 from __future__ import annotations
@@ -29,8 +42,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from binascii import hexlify
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro import obs
@@ -39,15 +53,28 @@ from repro.stream.engine import AppliedEvent, StreamEngine
 from repro.stream.events import StreamEvent
 from repro.stream.snapshot import (
     latest_snapshot,
+    newest_snapshot_seq,
     prune_snapshots,
     write_snapshot,
 )
-from repro.stream.wal import FRAME_FMT, WriteAheadLog, scan_wal
+from repro.stream.wal import (
+    FRAME_FMT,
+    LEGACY_WAL_NAME,
+    SegmentedWal,
+    WalCorruption,
+    list_segments,
+    scan_store,
+)
 
 __all__ = ["DurableStreamEngine", "RecoveryInfo"]
 
-WAL_NAME = "wal.jsonl"
+#: legacy single-file log name; kept as an alias for older callers
+WAL_NAME = LEGACY_WAL_NAME
 META_NAME = "meta.json"
+
+#: segment size used by the deprecated ``wal_path=`` shim — large enough
+#: that rotation never triggers, i.e. a one-segment store
+_ONE_SEGMENT_BYTES = 1 << 62
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,17 +83,26 @@ class RecoveryInfo:
 
     #: seqno of the snapshot recovery started from (0 = none, full replay)
     snapshot_seq: int
-    #: first/last replayed WAL seqno (both 0 when nothing was replayed)
+    #: first/last replayed log seqno (both 0 when nothing was replayed)
     replayed_from: int
     replayed_to: int
-    #: total verified records in the WAL
+    #: verified records scanned during recovery (snapshot-covered
+    #: segments are skipped entirely, so this is bounded by the snapshot
+    #: cadence plus one segment — not the stream's lifetime)
     wal_records: int
-    #: the WAL ended in an incomplete frame (crash signature), since truncated
+    #: the newest segment ended in an incomplete frame (crash signature),
+    #: since truncated
     torn_tail: bool
     #: bytes of torn tail dropped
     torn_bytes: int
     #: newest valid snapshot was ahead of the log (external truncation)
     snapshot_newer_than_log: bool
+    #: log segments present / actually read during recovery
+    segments: int = 1
+    segments_scanned: int = 1
+    #: log bytes read during recovery (the bounded-recovery metric;
+    #: also emitted as the ``stream.recover.bytes`` gauge)
+    bytes_scanned: int = 0
 
     def to_jsonable(self) -> dict:
         return {
@@ -77,6 +113,9 @@ class RecoveryInfo:
             "torn_tail": self.torn_tail,
             "torn_bytes": self.torn_bytes,
             "snapshot_newer_than_log": self.snapshot_newer_than_log,
+            "segments": self.segments,
+            "segments_scanned": self.segments_scanned,
+            "bytes_scanned": self.bytes_scanned,
         }
 
 
@@ -84,17 +123,39 @@ class DurableStreamEngine:
     """A :class:`StreamEngine` whose every event survives a crash.
 
     Construct via :meth:`create` (new stream directory) or :meth:`open`
-    (recover an existing one); the constructor itself is internal.
+    (recover an existing one); the positional constructor is internal.
+    The ``wal_path=`` keyword form from the single-file era is deprecated
+    but still works, mapping onto a one-segment store in the file's
+    directory.
     """
 
     def __init__(
         self,
-        directory: Path,
-        config: StreamConfig,
-        engine: StreamEngine,
-        wal: WriteAheadLog,
-        recovery: RecoveryInfo | None,
+        directory: Path | None = None,
+        config: StreamConfig | None = None,
+        engine: StreamEngine | None = None,
+        wal: SegmentedWal | None = None,
+        recovery: RecoveryInfo | None = None,
+        *,
+        wal_path: str | Path | None = None,
     ):
+        if wal_path is not None:
+            warnings.warn(
+                "DurableStreamEngine(wal_path=...) is deprecated; the log "
+                "is segmented now — use DurableStreamEngine.create(directory"
+                ", config) or .open(directory) on the file's directory",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            built = self._from_wal_path(Path(wal_path), config)
+            directory, config = built.directory, built.config
+            engine, wal, recovery = built.engine, built._wal, built.recovery
+            built._closed = True  # ownership of the store moved here
+        elif directory is None or config is None or engine is None or wal is None:
+            raise TypeError(
+                "use DurableStreamEngine.create()/.open(); the positional "
+                "constructor is internal"
+            )
         self.directory = directory
         self.config = config
         self.engine = engine
@@ -109,6 +170,22 @@ class DurableStreamEngine:
     # -- lifecycle ---------------------------------------------------------
 
     @classmethod
+    def _from_wal_path(
+        cls, wal_path: Path, config: StreamConfig | None
+    ) -> "DurableStreamEngine":
+        directory = wal_path.parent if wal_path.parent != Path("") else Path(".")
+        if (directory / META_NAME).exists():
+            return cls.open(directory)
+        if config is None:
+            raise TypeError(
+                "DurableStreamEngine(wal_path=...) on a fresh directory "
+                "also needs config="
+            )
+        return cls.create(
+            directory, replace(config, segment_bytes=_ONE_SEGMENT_BYTES)
+        )
+
+    @classmethod
     def create(
         cls, directory: str | Path, config: StreamConfig
     ) -> "DurableStreamEngine":
@@ -116,16 +193,18 @@ class DurableStreamEngine:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         meta = directory / META_NAME
-        if meta.exists() or (directory / WAL_NAME).exists():
+        if meta.exists() or list_segments(directory):
             raise FileExistsError(
                 f"{directory} already holds a stream (use open())"
             )
         meta.write_text(
-            json.dumps({"format": 1, "config": config.to_jsonable()}, indent=2)
+            json.dumps({"format": 2, "config": config.to_jsonable()}, indent=2)
             + "\n"
         )
-        wal = WriteAheadLog(
-            directory / WAL_NAME,
+        wal = SegmentedWal(
+            directory,
+            segment_bytes=config.segment_bytes,
+            next_seq=1,
             fsync_every=config.fsync_every,
             fsync=config.fsync,
         )
@@ -133,7 +212,13 @@ class DurableStreamEngine:
 
     @classmethod
     def open(cls, directory: str | Path) -> "DurableStreamEngine":
-        """Recover an existing stream directory (snapshot + tail replay)."""
+        """Recover an existing stream directory (snapshot + tail replay).
+
+        Only segments at or after the newest valid snapshot's seqno are
+        read; snapshot-covered segments cost nothing, so recovery time is
+        bounded by the snapshot cadence (plus at most one segment of
+        slack), however old the stream is.
+        """
         directory = Path(directory)
         meta = directory / META_NAME
         if not meta.exists():
@@ -142,21 +227,33 @@ class DurableStreamEngine:
             json.loads(meta.read_text())["config"]
         )
         with obs.span("stream.recover", dir=str(directory)):
-            scan = scan_wal(directory / WAL_NAME)
-            if scan.torn_tail:
-                # drop the incomplete frame so the appender resumes cleanly
-                os.truncate(directory / WAL_NAME, scan.valid_bytes)
-                obs.count("stream.recover.torn_tails")
-
             snap = latest_snapshot(directory)
             snap_seq = snap[0] if snap else 0
-            newer = snap_seq > scan.last_seq
-            if snap and (newer or snap_seq >= scan.first_seq - 1):
-                engine = StreamEngine.from_state(
-                    config, json.loads(snap[1])
+            scan = scan_store(directory, from_seq=snap_seq + 1)
+            if scan.torn_tail:
+                # drop the incomplete frame so the appender resumes cleanly
+                os.truncate(scan.tail_path, scan.valid_bytes)
+                obs.count("stream.recover.torn_tails")
+            obs.gauge("stream.recover.bytes", scan.scanned_bytes)
+
+            log_start = scan.first_seq
+            if log_start and log_start > snap_seq + 1:
+                raise WalCorruption(
+                    f"log starts at seq {log_start} but the newest snapshot "
+                    f"covers through {snap_seq}; records "
+                    f"{snap_seq + 1}..{log_start - 1} are gone (compaction "
+                    f"never deletes the segment holding snapshot.seq+1, so "
+                    f"this is external interference)",
+                    record_index=0,
+                    last_good_seq=snap_seq,
+                    offset=0,
+                    seq=snap_seq + 1,
                 )
+            newer = snap_seq > scan.last_seq
+            if snap:
+                engine = StreamEngine.from_state(config, json.loads(snap[1]))
             else:
-                engine, snap_seq = StreamEngine(config), 0
+                engine = StreamEngine(config)
 
             replayed_from = replayed_to = 0
             tail: list[tuple[int, StreamEvent]] = []
@@ -191,16 +288,21 @@ class DurableStreamEngine:
             torn_tail=scan.torn_tail,
             torn_bytes=scan.torn_bytes,
             snapshot_newer_than_log=newer,
+            segments=len(scan.segments),
+            segments_scanned=len(scan.scanned),
+            bytes_scanned=scan.scanned_bytes,
         )
-        wal = WriteAheadLog(
-            directory / WAL_NAME,
+        wal = SegmentedWal(
+            directory,
+            segment_bytes=config.segment_bytes,
+            next_seq=engine.seq + 1,
             fsync_every=config.fsync_every,
             fsync=config.fsync,
         )
         return cls(directory, config, engine, wal, info)
 
     def close(self) -> None:
-        """Flush, fsync and close the WAL (state remains recoverable)."""
+        """Flush, fsync and close the log (state remains recoverable)."""
         if self._closed:
             return
         self._closed = True
@@ -208,7 +310,7 @@ class DurableStreamEngine:
         self._wal.close()
 
     def abort(self) -> None:
-        """Crash hook: drop buffered WAL bytes and stop (see WAL.abort)."""
+        """Crash hook: drop buffered log bytes and stop (see store abort)."""
         self._closed = True
         self._wal.abort()
 
@@ -224,12 +326,18 @@ class DurableStreamEngine:
     def last_seq(self) -> int:
         return self.engine.seq
 
+    @property
+    def store(self) -> SegmentedWal:
+        """The underlying :class:`~repro.stream.wal.LogStore` (read-mostly
+        escape hatch for tooling; appends must go through the engine)."""
+        return self._wal
+
     def apply(self, event: StreamEvent, *, collect: bool = True) -> AppliedEvent:
-        """Apply one event and append it to the WAL; maybe snapshot."""
+        """Apply one event and append it to the log; maybe snapshot."""
         if self._closed:
             raise RuntimeError("engine is closed")
         applied = self.engine.apply(event, collect=collect)
-        self._wal.append_payload(event.wal_payload(applied.seq))
+        self._wal.append((event.wal_payload(applied.seq),))
         self._since_snapshot += 1
         every = self.config.snapshot_every
         if every and self._since_snapshot >= every:
@@ -245,7 +353,7 @@ class DurableStreamEngine:
         :class:`AppliedEvent` results are returned. Without it — the hot
         ingest path — the loop skips every per-event object allocation
         and returns the event count; an event rejected mid-batch leaves
-        its applied prefix in the WAL, exactly like the slow path.
+        its applied prefix in the log, exactly like the slow path.
         """
         if collect:
             out = [self.apply(e, collect=True) for e in events]
@@ -279,7 +387,7 @@ class DurableStreamEngine:
                     engine.apply_many(chunk)
                 finally:
                     # serialize + frame in one pass, and only the applied
-                    # prefix: on a mid-chunk rejection the WAL holds
+                    # prefix: on a mid-chunk rejection the log holds
                     # exactly what the one-event path would have written
                     applied = engine.seq - start
                     if applied:
@@ -310,7 +418,7 @@ class DurableStreamEngine:
                                 FRAME_FMT
                                 % (len(data), hexl(sha(data).digest()), data)
                             )
-                        wal.append_framed(b"".join(frames), applied)
+                        wal.append_frames(frames)
                         self._since_snapshot += applied
                         done += applied
                 if every and self._since_snapshot >= every:
@@ -325,8 +433,10 @@ class DurableStreamEngine:
         self._wal.flush(force_fsync=self.config.fsync)
 
     def snapshot_now(self) -> Path:
-        """Write a snapshot at the current seqno (WAL is fsynced first, so
-        a snapshot can never be ahead of the durable log)."""
+        """Write a snapshot at the current seqno (the log is fsynced
+        first, so a snapshot can never be ahead of the durable log).
+        Under ``compact="auto"``, snapshot-covered sealed segments are
+        deleted right after."""
         self._wal.flush(force_fsync=True)
         with obs.span("stream.snapshot", seq=self.engine.seq):
             path = write_snapshot(
@@ -337,4 +447,30 @@ class DurableStreamEngine:
             )
         prune_snapshots(self.directory, self.config.keep_snapshots)
         self._since_snapshot = 0
+        if self.config.compact == "auto":
+            self._compact_to(self.engine.seq)
         return path
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self, *, max_deletes: int | None = None) -> list[Path]:
+        """Delete sealed segments wholly covered by the newest valid
+        snapshot; returns the deleted paths.
+
+        Safe to call at any time and idempotent: the cover is re-derived
+        from disk, the segment containing ``snapshot.seq + 1`` is never
+        touched, and deletion runs oldest-first so an interrupted
+        compaction simply resumes on the next call. ``max_deletes`` is
+        the chaos harness's mid-compaction kill point.
+        """
+        return self._compact_to(
+            newest_snapshot_seq(self.directory), max_deletes=max_deletes
+        )
+
+    def _compact_to(
+        self, cover_seq: int, *, max_deletes: int | None = None
+    ) -> list[Path]:
+        removed = self._wal.compact(cover_seq, max_deletes=max_deletes)
+        if removed:
+            obs.count("stream.compact.segments_deleted", len(removed))
+        return removed

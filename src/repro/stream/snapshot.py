@@ -26,6 +26,7 @@ __all__ = [
     "latest_snapshot",
     "list_snapshots",
     "load_snapshot",
+    "newest_snapshot_seq",
     "prune_snapshots",
     "write_snapshot",
 ]
@@ -96,6 +97,17 @@ def latest_snapshot(directory: str | Path) -> tuple[int, str] | None:
         if payload is not None:
             return seq, payload
     return None
+
+
+def newest_snapshot_seq(directory: str | Path) -> int:
+    """Seq of the newest *verifying* snapshot, or 0 when none exists.
+
+    This is the compaction cover: every log record with seq at or below
+    it is reconstructible from the snapshot alone, so sealed segments
+    wholly below it are deletable.
+    """
+    snap = latest_snapshot(directory)
+    return snap[0] if snap else 0
 
 
 def prune_snapshots(directory: str | Path, keep: int) -> int:

@@ -3,17 +3,25 @@
 Three independent checks, each catching a different failure class:
 
 1. **replay determinism** — recover the directory (snapshot + tail
-   replay), then replay the *entire* WAL from scratch into a fresh
-   engine; the two state digests must match bit-for-bit. Catches
-   snapshot/replay drift.
+   replay), then *independently* rebuild the same state: reload the
+   newest valid snapshot into a fresh engine and replay the scanned log
+   tail one event at a time under explicit seq validation; the two state
+   digests must match bit-for-bit. Recovery uses the vectorized bulk
+   path, so this catches bulk-vs-scalar drift as well as snapshot/replay
+   drift. Like recovery itself, the check is O(data since the last
+   snapshot): compaction may have deleted snapshot-covered segments, and
+   they are not needed.
 2. **incremental correctness** — the recovered engine's per-node counts
    must equal :meth:`StreamEngine.recompute_counts`, an independent
    vectorized from-scratch recount over the recovered node set, compared
    exactly (no tolerance). Catches incremental-delta bugs.
-3. **log integrity** — the WAL scan itself raises
-   :class:`~repro.stream.wal.WalCorruption` on any corrupt interior
-   record, so a verification that *completes* guarantees no undetected
-   corruption.
+3. **log integrity** — every log scan raises
+   :class:`~repro.stream.wal.WalCorruption` on a corrupt interior record
+   or a malformed segment chain, so a verification that *completes*
+   guarantees no undetected corruption in the segments recovery depends
+   on. Pass ``deep=True`` to extend the integrity scan to *every*
+   surviving segment, including snapshot-covered ones (O(total log), the
+   pre-segmentation cost).
 
 ``repro stream verify`` and the chaos harness are thin wrappers over
 :func:`verify_stream_dir`.
@@ -21,6 +29,7 @@ Three independent checks, each catching a different failure class:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -30,7 +39,8 @@ from repro import obs
 from repro.stream.durable import DurableStreamEngine, RecoveryInfo
 from repro.stream.engine import StreamEngine
 from repro.stream.events import StreamEvent
-from repro.stream.wal import scan_wal
+from repro.stream.snapshot import latest_snapshot
+from repro.stream.wal import scan_store
 
 __all__ = ["VerifyReport", "render_verify_report", "verify_stream_dir"]
 
@@ -50,6 +60,10 @@ class VerifyReport:
     counts_exact: bool
     count_mismatches: int
     recovery: RecoveryInfo
+    #: whether the integrity scan covered every segment (deep=True)
+    deep: bool = False
+    #: records integrity-checked beyond recovery's own scan (deep only)
+    deep_records: int = 0
 
     def to_jsonable(self) -> dict:
         return {
@@ -64,10 +78,14 @@ class VerifyReport:
             "counts_exact": self.counts_exact,
             "count_mismatches": self.count_mismatches,
             "recovery": self.recovery.to_jsonable(),
+            "deep": self.deep,
+            "deep_records": self.deep_records,
         }
 
 
-def verify_stream_dir(directory: str | Path) -> VerifyReport:
+def verify_stream_dir(
+    directory: str | Path, *, deep: bool = False
+) -> VerifyReport:
     """Run the three recovery checks against one stream directory.
 
     Raises :class:`~repro.stream.wal.WalCorruption` when the log holds a
@@ -81,13 +99,31 @@ def verify_stream_dir(directory: str | Path) -> VerifyReport:
             engine = recovered.engine
             recovered_digest = engine.state_digest()
 
-            # full from-scratch replay of the (already verified) WAL
-            scratch = StreamEngine(recovered.config)
-            for rec in scan_wal(directory / "wal.jsonl").records:
+            # independent rebuild: snapshot reload + scalar tail replay
+            # (recovery went through the bulk path; any divergence between
+            # the two is a real bug, not a tolerance issue)
+            snap = latest_snapshot(directory)
+            if snap:
+                snap_seq = snap[0]
+                scratch = StreamEngine.from_state(
+                    recovered.config, json.loads(snap[1])
+                )
+            else:
+                snap_seq = 0
+                scratch = StreamEngine(recovered.config)
+            for rec in scan_store(directory, from_seq=snap_seq + 1).records:
                 seq, event = StreamEvent.from_wal_record(rec)
+                if seq <= snap_seq:
+                    continue
                 scratch.apply(event, seq=seq, collect=False)
             replay_digest = scratch.state_digest()
             replay_identical = replay_digest == recovered_digest
+
+            deep_records = 0
+            if deep:
+                # full-log integrity pass: scan_store raises WalCorruption
+                # on anything wrong in *any* surviving segment
+                deep_records = len(scan_store(directory, from_seq=1).records)
 
             incremental = engine.node_interference()
             recount = engine.recompute_counts()
@@ -105,6 +141,8 @@ def verify_stream_dir(directory: str | Path) -> VerifyReport:
                 counts_exact=mismatches == 0,
                 count_mismatches=mismatches,
                 recovery=recovered.recovery,
+                deep=deep,
+                deep_records=deep_records,
             )
         finally:
             recovered.close()
@@ -127,7 +165,9 @@ def render_verify_report(report: VerifyReport) -> str:
         f"  (max interference {report.max_interference})",
         f"  snapshot seq    : {ri.snapshot_seq}",
         f"  replayed seqs   : {replay_range}  "
-        f"({ri.wal_records} records in log)",
+        f"({ri.wal_records} records scanned)",
+        f"  segments        : {ri.segments_scanned}/{ri.segments} scanned"
+        f"  ({ri.bytes_scanned} bytes)",
         f"  torn tail       : {ri.torn_bytes} bytes dropped"
         if ri.torn_tail
         else "  torn tail       : none",
@@ -140,6 +180,11 @@ def render_verify_report(report: VerifyReport) -> str:
             else ""
         ),
     ]
+    if report.deep:
+        lines.append(
+            f"  deep integrity  : OK  ({report.deep_records} records across "
+            f"all segments)"
+        )
     if ri.snapshot_newer_than_log:
         lines.append("  WARNING: snapshot was newer than the log (external truncation?)")
     return "\n".join(lines)

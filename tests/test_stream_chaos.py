@@ -1,7 +1,7 @@
 """Seeded chaos harness: kill/recover/resume cycles must converge exactly."""
 
 from repro.faults import FaultPlan
-from repro.stream import chaos_suite, render_chaos_results
+from repro.stream import chaos_suite, render_chaos_results, store_bytes
 from repro.stream.chaos import chaos_run, expected_wal_bytes
 from repro.stream.events import random_stream_events
 
@@ -50,12 +50,49 @@ class TestChaosSuite:
         )
         engine.apply_batch(events)
         engine.close()
-        assert (tmp_path / "s" / "wal.jsonl").stat().st_size == (
-            expected_wal_bytes(events)
-        )
+        assert store_bytes(tmp_path / "s") == expected_wal_bytes(events)
 
     def test_render_is_humane(self, tmp_path):
         results = chaos_suite(tmp_path, 2, seed=0, n_events=150, capacity=128)
         text = render_chaos_results(results)
         assert "all exact" in text
         assert text.count("\n") == len(results) + 1  # header + rows + verdict
+
+
+class TestTargetedChaos:
+    def test_rotation_kill_points_recover_exactly(self, tmp_path):
+        # crashes aimed within ~120 bytes of segment-seal boundaries: the
+        # seal+open window is where a torn *sealed* segment would appear
+        # if rotation ever skipped the flush
+        results = chaos_suite(
+            tmp_path, 4, seed=11, n_events=400, capacity=256, side=8.0,
+            target="rotation",
+        )
+        assert all(r.ok for r in results)
+        assert all(r.target == "rotation" for r in results)
+        # the chaos config's 2 KiB segments force real rotations, so the
+        # targeted kill points exist (a fallback to uniform would defeat
+        # the test's purpose)
+        assert all(r.target_bytes < r.total_bytes for r in results)
+
+    def test_compaction_kill_points_resume_idempotently(self, tmp_path):
+        results = chaos_suite(
+            tmp_path, 4, seed=5, n_events=400, capacity=256, side=8.0,
+            target="compaction",
+        )
+        assert all(r.ok for r in results)
+        # compaction never loses state: the whole stream survives the kill
+        assert all(r.survived_seq == r.n_events for r in results)
+        assert all(not r.torn_tail for r in results)
+
+    def test_compaction_target_requires_inprocess(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            chaos_run(tmp_path / "x", 0, target="compaction", mode="subprocess")
+
+    def test_chaos_segments_rotate(self, tmp_path):
+        # sanity: with 2 KiB segments a 400-event run really is segmented
+        r = chaos_run(tmp_path / "s", 2, seed=0, n_events=400, capacity=256)
+        assert r.ok
+        assert len(list(( tmp_path / "s").glob("wal-*.jsonl"))) >= 2

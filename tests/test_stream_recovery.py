@@ -13,6 +13,7 @@ from repro.stream import (
     StreamEngine,
     WalCorruption,
     latest_snapshot,
+    list_segments,
     list_snapshots,
     random_stream_events,
     verify_stream_dir,
@@ -31,6 +32,12 @@ def workload(n=300, *, seed=0, family="uniform", capacity=128):
     return random_stream_events(
         n, capacity=capacity, side=6.0, r_max=1.0, seed=seed, family=family
     )
+
+
+def newest_segment(directory):
+    """The active log segment's path (the default segment size keeps these
+    small workloads in a single segment)."""
+    return list_segments(directory)[-1].path
 
 
 class TestCleanRecovery:
@@ -120,7 +127,7 @@ class TestCrashRecovery:
         )
         durable.apply_batch(events)
         durable.close()
-        wal = tmp_path / "s" / "wal.jsonl"
+        wal = newest_segment(tmp_path / "s")
         os.truncate(wal, wal.stat().st_size - 11)  # mid-record
 
         recovered = DurableStreamEngine.open(tmp_path / "s")
@@ -140,7 +147,7 @@ class TestCrashRecovery:
         durable = DurableStreamEngine.create(tmp_path / "s", config())
         durable.apply_batch(workload(80))
         durable.close()
-        wal = tmp_path / "s" / "wal.jsonl"
+        wal = newest_segment(tmp_path / "s")
         lines = wal.read_bytes().splitlines(keepends=True)
         bad = bytearray(lines[40])
         bad[-3] ^= 0x02
@@ -160,7 +167,7 @@ class TestCrashRecovery:
         assert snap_seq == 120
         # externally truncate the WAL to before the snapshot (the engine
         # itself can never produce this: the WAL is fsynced pre-snapshot)
-        wal = tmp_path / "s" / "wal.jsonl"
+        wal = newest_segment(tmp_path / "s")
         lines = wal.read_bytes().splitlines(keepends=True)
         wal.write_bytes(b"".join(lines[:100]))
 
