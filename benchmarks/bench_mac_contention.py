@@ -1,0 +1,78 @@
+"""Bench: the MAC contention suite and its headline correlation gate.
+
+Times the saturated and queued engines, and asserts the acceptance
+criterion of the ``repro.mac`` subsystem: the Spearman rank correlation
+between static per-node interference ``I(v)`` and the measured per-node
+collision rate is **positive and significant** on the paper's separating
+families (NNF on random positions vs A_exp on the exponential chain) at
+``n >= 64`` under at least two backoff policies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import exponential_chain, random_udg_connected
+from repro.highway.a_exp import a_exp
+from repro.mac import (
+    MacConfig,
+    MacSimulator,
+    SaturatedAlohaSimulator,
+    interference_collision_spearman,
+)
+from repro.model.udg import unit_disk_graph
+from repro.topologies import build
+
+N = 64
+SLOTS = 1500
+POLICIES = ("beb", "eied")
+
+
+@pytest.fixture(scope="module")
+def nnf_64():
+    pos = random_udg_connected(N, side=4.0 * float(np.sqrt(N / 60.0)), seed=3)
+    return build("nnf", unit_disk_graph(pos))
+
+
+@pytest.fixture(scope="module")
+def aexp_64():
+    return a_exp(exponential_chain(N))
+
+
+def _gate(topology, policy):
+    cfg = MacConfig(traffic="poisson", load=0.08)
+    res = MacSimulator(topology, policy=policy, config=cfg).run(SLOTS, seed=3)
+    rho, pval = interference_collision_spearman(topology, res)
+    assert res.conservation_ok
+    assert rho > 0, f"{policy}: rho={rho}"
+    assert pval < 0.05, f"{policy}: p={pval}"
+    return res
+
+
+@pytest.mark.benchmark(group="mac")
+@pytest.mark.parametrize("policy", POLICIES)
+def test_interference_predicts_collisions_nnf(benchmark, nnf_64, policy):
+    benchmark(_gate, nnf_64, policy)
+
+
+@pytest.mark.benchmark(group="mac")
+@pytest.mark.parametrize("policy", POLICIES)
+def test_interference_predicts_collisions_aexp(benchmark, aexp_64, policy):
+    benchmark(_gate, aexp_64, policy)
+
+
+@pytest.mark.benchmark(group="mac")
+def test_saturated_engine_throughput(benchmark, nnf_64):
+    sim = SaturatedAlohaSimulator(nnf_64, policy="beb")
+    res = benchmark(sim.run, SLOTS, seed=7)
+    assert res.deliveries.sum() > 0
+
+
+@pytest.mark.benchmark(group="mac")
+def test_queued_engine_csma_sinr(benchmark, nnf_64):
+    cfg = MacConfig(
+        mode="csma", tx_slots=3, capture="sinr", traffic="poisson", load=0.05
+    )
+    sim = MacSimulator(nnf_64, policy="fibonacci", config=cfg)
+    res = benchmark(sim.run, 800, seed=7)
+    assert res.conservation_ok
+    assert res.delivered.sum() > 0

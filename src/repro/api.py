@@ -87,6 +87,20 @@ from repro.interference.robustness import (
     stability_summary,
 )
 from repro.interference.sender import edge_coverage, sender_interference
+from repro.mac import (
+    BACKOFF_POLICIES,
+    BackoffPolicy,
+    BackoffState,
+    MacConfig,
+    MacResult,
+    MacSimulator,
+    SaturatedAlohaSimulator,
+    SaturatedResult,
+    interference_collision_spearman,
+    jain_fairness,
+    make_policy,
+    registered_policies,
+)
 from repro.interference.traffic import traffic_interference
 from repro.model.topology import Topology
 from repro.model.udg import unit_disk_graph
@@ -209,6 +223,19 @@ __all__ = [
     "heuristic_opt",
     "solve_opt",
     "verify_certificate",
+    # MAC contention suite
+    "BACKOFF_POLICIES",
+    "BackoffPolicy",
+    "BackoffState",
+    "MacConfig",
+    "MacResult",
+    "MacSimulator",
+    "SaturatedAlohaSimulator",
+    "SaturatedResult",
+    "interference_collision_spearman",
+    "jain_fairness",
+    "make_policy",
+    "registered_policies",
     # distributed execution
     "DistributedResult",
     "Protocol",

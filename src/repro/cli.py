@@ -39,6 +39,9 @@ def _parse_param(text: str) -> tuple[str, list]:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.mac.engine import CAPTURE_KINDS, MAC_MODES, TRAFFIC_KINDS
+    from repro.mac.policies import BACKOFF_POLICIES
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -169,6 +172,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     churn.add_argument("--seed", type=int, default=17, help="scenario seed")
     churn.add_argument(
+        "--json", type=Path, default=None, help="also write the result as JSON"
+    )
+    mac = sub.add_parser(
+        "mac",
+        help="MAC-layer contention run: backoff-policy zoo, traffic "
+        "sources and capture effect over the paper's topology families "
+        "(the mac_contention experiment)",
+    )
+    mac.add_argument("--n", type=int, default=64, help="network size")
+    mac.add_argument("--slots", type=int, default=1500, help="slots to simulate")
+    mac.add_argument(
+        "--load", type=float, default=0.08,
+        help="per-node offered load in packets per slot",
+    )
+    mac.add_argument(
+        "--topology", action="append", default=None, metavar="NAME",
+        help="topology family (repeatable; default: nnf, a_exp); highway "
+        "names use the exponential chain, others run on a random UDG",
+    )
+    mac.add_argument(
+        "--policy", action="append", default=None, metavar="NAME",
+        choices=sorted(BACKOFF_POLICIES),
+        help="backoff policy (repeatable; default: beb, eied)",
+    )
+    mac.add_argument(
+        "--traffic", choices=sorted(TRAFFIC_KINDS), default="poisson",
+        help="per-node traffic source",
+    )
+    mac.add_argument(
+        "--mode", choices=sorted(MAC_MODES), default="aloha",
+        help="channel access mode (csma needs --tx-slots >= 2 to differ)",
+    )
+    mac.add_argument(
+        "--capture", choices=sorted(CAPTURE_KINDS), default="disk",
+        help="reception model: disk overlap or SINR-threshold capture",
+    )
+    mac.add_argument(
+        "--tx-slots", type=int, default=1, help="slots per transmission"
+    )
+    mac.add_argument("--seed", type=int, default=3, help="run seed")
+    mac.add_argument(
         "--json", type=Path, default=None, help="also write the result as JSON"
     )
     opt = sub.add_parser(
@@ -588,6 +632,27 @@ def _main(argv: list[str] | None = None) -> int:
 
     if args.command == "loadgen":
         return _loadgen(args)
+
+    if args.command == "mac":
+        result = experiments.run(
+            "mac_contention",
+            seed=args.seed,
+            n=args.n,
+            n_slots=args.slots,
+            load=args.load,
+            topologies=tuple(args.topology) if args.topology else ("nnf", "a_exp"),
+            policies=tuple(args.policy) if args.policy else ("beb", "eied"),
+            traffic=args.traffic,
+            mode=args.mode,
+            capture=args.capture,
+            tx_slots=args.tx_slots,
+        )
+        print(result.render())
+        if args.json is not None:
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+            args.json.write_text(result.to_json())
+            print(f"  wrote {args.json}")
+        return 0
 
     if args.command == "churn":
         result = experiments.run(

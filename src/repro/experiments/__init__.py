@@ -32,6 +32,7 @@ from repro.experiments import (  # noqa: F401  (import for side effects)
     sinr_validation,
     mobility_timeline,
     gathering,
+    mac_contention,
     distributed_tc,
     ablation_spacing,
     churn_resilience,

@@ -1,0 +1,52 @@
+"""MAC-layer contention suite over the paper's topologies.
+
+The dynamic counterpart of the static receiver-centric interference
+measure: a pluggable backoff-policy zoo (:data:`BACKOFF_POLICIES`), a
+saturated slotted-ALOHA engine bitwise-compatible with the deprecated
+``repro.sim.backoff.BebAlohaSimulator``, and a queued slotted-ALOHA/CSMA
+engine with traffic sources, duty cycles, ack/retransmit and an
+SINR-threshold capture effect. See ``docs/MAC.md``.
+"""
+
+from repro.mac.engine import MacConfig, MacResult, MacSimulator
+from repro.mac.metrics import (
+    interference_collision_spearman,
+    jain_fairness,
+    summarize,
+)
+from repro.mac.policies import (
+    BACKOFF_POLICIES,
+    AsbBackoff,
+    BackoffPolicy,
+    BackoffState,
+    BebBackoff,
+    EbebBackoff,
+    EiedBackoff,
+    FibonacciBackoff,
+    UniformBackoff,
+    make_policy,
+    registered_policies,
+)
+from repro.mac.saturated import SaturatedAlohaSimulator, SaturatedResult
+
+__all__ = [
+    "BACKOFF_POLICIES",
+    "AsbBackoff",
+    "BackoffPolicy",
+    "BackoffState",
+    "BebBackoff",
+    "EbebBackoff",
+    "EiedBackoff",
+    "FibonacciBackoff",
+    "MacConfig",
+    "MacResult",
+    "MacSimulator",
+    "SaturatedAlohaSimulator",
+    "SaturatedResult",
+    "UniformBackoff",
+    "interference_collision_spearman",
+    "jain_fairness",
+    "make_policy",
+    "registered_policies",
+    "summarize",
+]

@@ -1,54 +1,40 @@
-"""Slotted ALOHA with binary exponential backoff (BEB).
+"""Deprecated BEB-only front of the MAC contention suite.
 
-A more realistic MAC than fixed-probability ALOHA: each node keeps one
-head-of-line packet; after a failed transmission it doubles its contention
-window (up to ``cw_max``) and waits a uniformly drawn number of slots;
-after a success the window resets. Interference enters exactly as in
-:class:`repro.sim.slotted.SlottedAlohaSimulator`: a reception fails iff a
-second concurrent transmitter covers the receiver (or the receiver is
-itself busy).
+.. deprecated::
+    ``BebAlohaSimulator`` is now a thin shim over
+    :class:`repro.mac.SaturatedAlohaSimulator` with ``policy="beb"`` —
+    the same saturated slotted-ALOHA setting generalized over the
+    pluggable backoff-policy registry (:data:`repro.mac.BACKOFF_POLICIES`).
+    ``BebResult`` is an alias of :class:`repro.mac.SaturatedResult`.
+    Construct the new class directly to pick other policies.
 
-The paper's retransmission/energy argument shows up as the *mean
-retransmissions per delivered packet*, which grows with the receiver-side
-interference of the topology.
+The shim is *bitwise* compatible: ``policy="beb"`` makes the identical
+RNG draws in the identical order as the original loop, so seeded results
+match the pre-migration class exactly. The original implementation is
+preserved privately below as the oracle for the differential test in
+``tests/test_sim_backoff.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
 import numpy as np
 
 from repro.interference.receiver import RTOL
+from repro.mac.saturated import SaturatedAlohaSimulator, SaturatedResult
 from repro.model.topology import Topology
 from repro.utils import as_generator
 
-
-@dataclass(frozen=True)
-class BebResult:
-    n_slots: int
-    attempts: np.ndarray
-    deliveries: np.ndarray
-    #: per node: retransmissions (attempts beyond the first per packet)
-    retransmissions: np.ndarray
-    #: per node: mean contention window observed at delivery time
-    mean_cw: np.ndarray
-    meta: dict = field(default_factory=dict)
-
-    @property
-    def retransmissions_per_delivery(self) -> np.ndarray:
-        with np.errstate(invalid="ignore", divide="ignore"):
-            return np.where(
-                self.deliveries > 0, self.retransmissions / self.deliveries, np.nan
-            )
+#: Deprecated alias kept for unpickling and isinstance checks.
+BebResult = SaturatedResult
 
 
-class BebAlohaSimulator:
-    """Saturated slotted ALOHA with binary exponential backoff.
+class BebAlohaSimulator(SaturatedAlohaSimulator):
+    """Deprecated: use ``repro.mac.SaturatedAlohaSimulator(policy="beb")``.
 
-    Every node with at least one neighbour is backlogged (always has a
-    packet for a uniformly random neighbour) — the classic saturation
-    throughput setting.
+    Saturated slotted ALOHA with binary exponential backoff; seeded runs
+    are bitwise identical to the historical implementation.
     """
 
     def __init__(
@@ -58,6 +44,22 @@ class BebAlohaSimulator:
         cw_min: int = 2,
         cw_max: int = 256,
     ):
+        warnings.warn(
+            "BebAlohaSimulator is deprecated; use "
+            "repro.mac.SaturatedAlohaSimulator(topology, policy='beb') "
+            "which supports the full backoff-policy registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(topology, policy="beb", cw_min=cw_min, cw_max=cw_max)
+        self.cw_min = int(cw_min)
+        self.cw_max = int(cw_max)
+
+
+class _LegacyBebAlohaSimulator:
+    """Frozen pre-migration implementation — differential-test oracle only."""
+
+    def __init__(self, topology: Topology, *, cw_min: int = 2, cw_max: int = 256):
         if cw_min < 1 or cw_max < cw_min:
             raise ValueError("need 1 <= cw_min <= cw_max")
         self.topology = topology
@@ -74,7 +76,7 @@ class BebAlohaSimulator:
         self._covers = d <= (topology.radii * (1.0 + RTOL))[:, None]
         np.fill_diagonal(self._covers, False)
 
-    def run(self, n_slots: int, *, seed=None) -> BebResult:
+    def run(self, n_slots: int, *, seed=None) -> SaturatedResult:
         if n_slots < 0:
             raise ValueError("n_slots must be >= 0")
         rng = as_generator(seed)
@@ -115,7 +117,7 @@ class BebAlohaSimulator:
                 wait[u] = rng.integers(cw[u])
         with np.errstate(invalid="ignore", divide="ignore"):
             mean_cw = np.where(deliveries > 0, cw_sum / deliveries, np.nan)
-        return BebResult(
+        return SaturatedResult(
             n_slots=n_slots,
             attempts=attempts,
             deliveries=deliveries,

@@ -89,6 +89,8 @@ class CsmaSimulator(Simulator):
         #: transmissions currently on the air: sender -> (start, receiver,
         #: corrupted flag stored in a mutable list)
         self._active: dict[int, list] = {}
+        self._horizon = 0.0
+        self._started = False
 
     # -- channel model -------------------------------------------------------
     def _channel_busy_at(self, u: int) -> bool:
@@ -143,20 +145,34 @@ class CsmaSimulator(Simulator):
 
     # -- entry point -------------------------------------------------------------
     def run_for(self, duration: float) -> CsmaResult:
-        """Run the network for ``duration`` time units and report tallies."""
+        """Advance the network by ``duration`` time units; report cumulative
+        tallies.
+
+        ``duration`` is *relative* to the current clock, so consecutive
+        calls continue the same trajectory: ``run_for(a)`` then
+        ``run_for(b)`` visits exactly the states of a single
+        ``run_for(a + b)`` (the seeded-determinism regression tests in
+        ``tests/test_sim_csma.py`` hold this line). The per-node arrival
+        processes — Poisson with rate ``arrival_rate`` in *packets per
+        unit time per node*, i.e. i.i.d. ``Exponential(1/arrival_rate)``
+        inter-arrival gaps — are seeded once, on the first call.
+        """
         if duration <= 0:
             raise ValueError("duration must be positive")
-        if self.arrival_rate > 0:
-            for u in range(self.topology.n):
-                if self._neighbors[u].size == 0:
-                    continue
-                self.schedule(
-                    float(self.rng.exponential(1.0 / self.arrival_rate)),
-                    lambda u=u: self._arrival(u),
-                )
-        self.run(until=duration)
+        if not self._started:
+            self._started = True
+            if self.arrival_rate > 0:
+                for u in range(self.topology.n):
+                    if self._neighbors[u].size == 0:
+                        continue
+                    self.schedule(
+                        float(self.rng.exponential(1.0 / self.arrival_rate)),
+                        lambda u=u: self._arrival(u),
+                    )
+        self._horizon += duration
+        self.run(until=self._horizon)
         return CsmaResult(
-            duration=duration,
+            duration=self._horizon,
             attempts=self.attempts.copy(),
             rx_ok=self.rx_ok.copy(),
             rx_collision=self.rx_collision.copy(),

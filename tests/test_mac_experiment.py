@@ -1,0 +1,158 @@
+"""Tests for the mac_contention experiment, its CLI and sweep plumbing."""
+
+import json
+
+import pytest
+
+from repro import experiments
+from repro.cli import main
+from repro.experiments.registry import ExperimentResult
+
+SMALL = dict(
+    seed=5,
+    n=24,
+    n_slots=250,
+    load=0.08,
+    topologies=("nnf", "a_exp"),
+    policies=("beb", "eied"),
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return experiments.run("mac_contention", **SMALL)
+
+
+class TestExperiment:
+    def test_registered(self):
+        assert "mac_contention" in experiments.REGISTRY
+        exp = experiments.get("mac_contention")
+        assert "MAC" in exp.title or "contention" in exp.title
+
+    def test_grid_shape(self, small_result):
+        # 2 topologies x 2 policies
+        assert len(small_result.rows) == 4
+        assert len(small_result.data["grid"]) == 4
+        cases = {g["case"] for g in small_result.data["grid"]}
+        assert cases == {"rand24/nnf", "exp24/a_exp"}
+
+    def test_conservation_holds_everywhere(self, small_result):
+        assert all(g["conservation_ok"] for g in small_result.data["grid"])
+
+    def test_spearman_reported(self, small_result):
+        assert len(small_result.data["spearman"]) == 4
+        for key, rho in small_result.data["spearman"].items():
+            assert "|" in key
+            assert rho is None or isinstance(rho, float)
+
+    def test_strict_json_round_trip(self, small_result):
+        text = small_result.to_json()  # allow_nan=False inside
+        back = ExperimentResult.from_json(text)
+        assert back.rows == small_result.rows
+        assert back.data["spearman"] == small_result.data["spearman"]
+
+    def test_deterministic_given_seed(self):
+        a = experiments.run("mac_contention", **SMALL)
+        b = experiments.run("mac_contention", **SMALL)
+        assert a.rows == b.rows
+        assert a.data["grid"] == b.data["grid"]
+
+    def test_policy_grid_respected(self):
+        res = experiments.run(
+            "mac_contention",
+            seed=2,
+            n=16,
+            n_slots=120,
+            topologies=("nnf",),
+            policies=("uniform", "fibonacci", "asb"),
+        )
+        assert [g["policy"] for g in res.data["grid"]] == [
+            "uniform",
+            "fibonacci",
+            "asb",
+        ]
+
+    def test_list_kwargs_from_sweep_grids(self):
+        # the sweep runner ships kwargs through JSON: lists, not tuples
+        res = experiments.run(
+            "mac_contention",
+            seed=2,
+            n=16,
+            n_slots=100,
+            topologies=["nnf"],
+            policies=["beb"],
+        )
+        assert len(res.rows) == 1
+
+
+class TestCli:
+    def test_mac_subcommand(self, capsys, tmp_path):
+        out = tmp_path / "mac.json"
+        rc = main(
+            [
+                "mac",
+                "--n", "16",
+                "--slots", "120",
+                "--topology", "nnf",
+                "--policy", "beb",
+                "--seed", "2",
+                "--json", str(out),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "mac_contention" in captured
+        payload = json.loads(out.read_text())
+        assert payload["experiment_id"] == "mac_contention"
+
+    def test_mac_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["mac", "--policy", "carrier-pigeon"])
+
+    def test_mac_csma_mode(self, capsys):
+        rc = main(
+            [
+                "mac",
+                "--n", "16",
+                "--slots", "100",
+                "--topology", "nnf",
+                "--policy", "eied",
+                "--mode", "csma",
+                "--tx-slots", "3",
+                "--seed", "4",
+            ]
+        )
+        assert rc == 0
+        assert "csma" not in capsys.readouterr().err
+
+
+class TestObs:
+    def test_mac_spans_and_counters(self):
+        from repro import obs
+        from repro.geometry.generators import random_udg_connected
+        from repro.mac import MacConfig, MacSimulator
+        from repro.model.udg import unit_disk_graph
+
+        t = unit_disk_graph(random_udg_connected(16, side=2.0, seed=3))
+        with obs.capture() as registry:
+            MacSimulator(
+                t, policy="beb", config=MacConfig(traffic="poisson", load=0.1)
+            ).run(150, seed=1)
+        snap = registry.snapshot()
+        names = {s.name for s in snap.spans}
+        assert "mac.run" in names
+        assert snap.counters.get("mac.slots") == 150
+        assert "mac.attempts" in snap.counters
+        assert "mac.delivered" in snap.counters
+
+    def test_saturated_span(self):
+        from repro import obs
+        from repro.geometry.generators import random_udg_connected
+        from repro.mac import SaturatedAlohaSimulator
+        from repro.model.udg import unit_disk_graph
+
+        t = unit_disk_graph(random_udg_connected(16, side=2.0, seed=3))
+        with obs.capture() as registry:
+            SaturatedAlohaSimulator(t, policy="fibonacci").run(100, seed=1)
+        snap = registry.snapshot()
+        assert any(s.name == "mac.saturated" for s in snap.spans)

@@ -1,13 +1,27 @@
-"""Tests for the binary-exponential-backoff ALOHA simulator."""
+"""Tests for the binary-exponential-backoff ALOHA simulator.
+
+``BebAlohaSimulator`` is now a deprecated shim over
+``repro.mac.SaturatedAlohaSimulator(policy="beb")``; the differential
+tests at the bottom pin the shim bitwise against the frozen
+pre-migration implementation.
+"""
+
+import warnings
 
 import numpy as np
 import pytest
 
-from repro.geometry.generators import exponential_chain
+from repro.geometry.generators import exponential_chain, random_udg_connected
 from repro.highway.a_exp import a_exp
 from repro.highway.linear import linear_chain
+from repro.mac import SaturatedAlohaSimulator, SaturatedResult
 from repro.model.topology import Topology
-from repro.sim.backoff import BebAlohaSimulator
+from repro.model.udg import unit_disk_graph
+from repro.sim.backoff import (
+    BebAlohaSimulator,
+    BebResult,
+    _LegacyBebAlohaSimulator,
+)
 
 
 @pytest.fixture
@@ -64,3 +78,44 @@ class TestBeb:
             BebAlohaSimulator(pair, cw_min=8, cw_max=4)
         with pytest.raises(ValueError):
             BebAlohaSimulator(pair).run(-1)
+
+
+class TestMigrationShim:
+    def test_deprecation_warning(self, pair):
+        with pytest.warns(DeprecationWarning, match="SaturatedAlohaSimulator"):
+            BebAlohaSimulator(pair)
+
+    def test_result_alias(self):
+        assert BebResult is SaturatedResult
+
+    @pytest.mark.parametrize(
+        "cw_min,cw_max", [(2, 256), (1, 16), (4, 64), (3, 200)]
+    )
+    def test_differential_bitwise_vs_legacy(self, cw_min, cw_max):
+        """BEB through the policy registry makes the identical RNG draws
+        in the identical order as the frozen pre-migration loop."""
+        pos = random_udg_connected(40, side=3.5, seed=17)
+        t = unit_disk_graph(pos)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            new = BebAlohaSimulator(t, cw_min=cw_min, cw_max=cw_max).run(
+                700, seed=23
+            )
+        old = _LegacyBebAlohaSimulator(t, cw_min=cw_min, cw_max=cw_max).run(
+            700, seed=23
+        )
+        np.testing.assert_array_equal(new.attempts, old.attempts)
+        np.testing.assert_array_equal(new.deliveries, old.deliveries)
+        np.testing.assert_array_equal(new.retransmissions, old.retransmissions)
+        np.testing.assert_array_equal(new.mean_cw, old.mean_cw)
+        np.testing.assert_array_equal(
+            new.retransmissions_per_delivery, old.retransmissions_per_delivery
+        )
+
+    def test_shim_is_the_registry_engine(self, pair):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            sim = BebAlohaSimulator(pair, cw_min=2, cw_max=32)
+        assert isinstance(sim, SaturatedAlohaSimulator)
+        assert sim.policy.name == "beb"
+        assert (sim.policy.cw_min, sim.policy.cw_max) == (2, 32)

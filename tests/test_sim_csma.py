@@ -71,3 +71,47 @@ class TestCsma:
             CsmaSimulator(pair_topology, tx_time=0.0)
         with pytest.raises(ValueError):
             CsmaSimulator(pair_topology).run_for(0.0)
+
+
+class TestSeededDeterminism:
+    """Regression tests for run_for's relative-horizon semantics."""
+
+    FIELDS = ("attempts", "rx_ok", "rx_collision", "deferrals")
+
+    def _dense_topology(self):
+        pos = random_udg_connected(20, side=1.5, seed=11)
+        return unit_disk_graph(pos)
+
+    def test_same_seed_identical_result(self):
+        t = self._dense_topology()
+        a = CsmaSimulator(t, arrival_rate=0.3, seed=9).run_for(600.0)
+        b = CsmaSimulator(t, arrival_rate=0.3, seed=9).run_for(600.0)
+        for f in self.FIELDS:
+            np.testing.assert_array_equal(
+                getattr(a, f), getattr(b, f), err_msg=f
+            )
+        assert a.duration == b.duration
+
+    def test_split_run_for_matches_single_call(self):
+        """run_for(a) then run_for(b) continues the same trajectory as a
+        single run_for(a + b): durations are relative, and arrival
+        processes are scheduled exactly once."""
+        t = self._dense_topology()
+        whole = CsmaSimulator(t, arrival_rate=0.3, seed=9).run_for(600.0)
+        sim = CsmaSimulator(t, arrival_rate=0.3, seed=9)
+        sim.run_for(250.0)
+        split = sim.run_for(350.0)
+        for f in self.FIELDS:
+            np.testing.assert_array_equal(
+                getattr(whole, f), getattr(split, f), err_msg=f
+            )
+        assert split.duration == 600.0
+
+    def test_intermediate_result_is_prefix(self):
+        t = self._dense_topology()
+        sim = CsmaSimulator(t, arrival_rate=0.3, seed=13)
+        first = sim.run_for(300.0)
+        second = sim.run_for(300.0)
+        for f in self.FIELDS:
+            assert np.all(getattr(first, f) <= getattr(second, f)), f
+        assert first.duration == 300.0 and second.duration == 600.0
